@@ -1,0 +1,63 @@
+//! Criterion anchor for Figure 10: latency of one long-running `get` over a
+//! large list while a writer churns the head, per scheme.
+//!
+//! Full sweep: `cargo run --release -p bench --bin fig10`.
+
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use smr_common::ConcurrentMap;
+
+const RANGE: u64 = 1 << 13;
+
+fn long_get<M>(c: &mut Criterion, name: &str)
+where
+    M: ConcurrentMap<u64, u64> + Send + Sync,
+{
+    let map = M::new();
+    {
+        let mut h = map.handle();
+        for k in (0..RANGE).step_by(2) {
+            map.insert(&mut h, k, k);
+        }
+    }
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        // Head churn to force reclamation pressure during the reads.
+        s.spawn(|| {
+            let mut h = map.handle();
+            let mut k = 0u64;
+            while !stop.load(Relaxed) {
+                map.insert(&mut h, k % 32, k);
+                map.remove(&mut h, &(k % 32));
+                k += 1;
+            }
+        });
+        let mut h = map.handle();
+        let mut rng = SmallRng::seed_from_u64(7);
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                let key = rng.gen_range(RANGE / 2..RANGE); // deep in the list
+                std::hint::black_box(map.get(&mut h, &key))
+            })
+        });
+        stop.store(true, Relaxed);
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    long_get::<ds::guarded::HHSList<u64, u64, nr::Nr>>(c, "fig10/get/nr");
+    long_get::<ds::guarded::HHSList<u64, u64, ebr::Ebr>>(c, "fig10/get/ebr");
+    long_get::<ds::guarded::HHSList<u64, u64, pebr::Pebr>>(c, "fig10/get/pebr");
+    long_get::<ds::hp::HMList<u64, u64>>(c, "fig10/get/hp");
+    long_get::<ds::hpp::HHSList<u64, u64>>(c, "fig10/get/hp++");
+    long_get::<ds::cdrc::HHSList<u64, u64>>(c, "fig10/get/rc");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

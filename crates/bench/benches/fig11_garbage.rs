@@ -1,0 +1,44 @@
+//! Criterion anchor for Figure 11: cost of churn under each scheme, with
+//! the peak unreclaimed-block count printed alongside (criterion measures
+//! time; the garbage reading is the figure's actual metric).
+//!
+//! Full sweep: `cargo run --release -p bench --bin fig11`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smr_common::ConcurrentMap;
+
+const CHURN: u64 = 512;
+
+fn churn_and_report<M>(c: &mut Criterion, name: &str)
+where
+    M: ConcurrentMap<u64, u64> + Send + Sync,
+{
+    let map = M::new();
+    let mut h = map.handle();
+    let base = smr_common::counters::garbage_now();
+    let mut peak = 0u64;
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            for k in 0..CHURN {
+                map.insert(&mut h, k % 64, k);
+                map.remove(&mut h, &(k % 64));
+            }
+            peak = peak.max(smr_common::counters::garbage_now().saturating_sub(base));
+        })
+    });
+    println!("{name}: peak unreclaimed blocks = {peak}");
+}
+
+fn bench(c: &mut Criterion) {
+    churn_and_report::<ds::guarded::HMList<u64, u64, ebr::Ebr>>(c, "fig11/churn/ebr");
+    churn_and_report::<ds::guarded::HMList<u64, u64, pebr::Pebr>>(c, "fig11/churn/pebr");
+    churn_and_report::<ds::hp::HMList<u64, u64>>(c, "fig11/churn/hp");
+    churn_and_report::<ds::hpp::HHSList<u64, u64>>(c, "fig11/churn/hp++");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(800));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion anchor for Figure 8: per-operation cost of the read-write mix
+//! on prefilled structures, per (structure, scheme), single-threaded.
+//!
+//! The multi-threaded sweep that regenerates the full figure is
+//! `cargo run --release -p bench --bin fig8`; this bench pins down the
+//! single-thread end of each curve with criterion-grade statistics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use smr_common::ConcurrentMap;
+
+const RANGE: u64 = 1000;
+const OPS: u64 = 256;
+
+fn mixed_ops<M: ConcurrentMap<u64, u64>>(c: &mut Criterion, name: &str) {
+    let map = M::new();
+    let mut h = map.handle();
+    for k in (0..RANGE).step_by(2) {
+        map.insert(&mut h, k, k);
+    }
+    let mut rng = SmallRng::seed_from_u64(42);
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            for _ in 0..OPS {
+                let key = rng.gen_range(0..RANGE);
+                match rng.gen_range(0..4) {
+                    0 => {
+                        std::hint::black_box(map.insert(&mut h, key, key));
+                    }
+                    1 => {
+                        std::hint::black_box(map.remove(&mut h, &key));
+                    }
+                    _ => {
+                        std::hint::black_box(map.get(&mut h, &key));
+                    }
+                }
+            }
+        })
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    mixed_ops::<ds::guarded::HMList<u64, u64, nr::Nr>>(c, "fig8/hmlist/nr");
+    mixed_ops::<ds::guarded::HMList<u64, u64, ebr::Ebr>>(c, "fig8/hmlist/ebr");
+    mixed_ops::<ds::guarded::HMList<u64, u64, pebr::Pebr>>(c, "fig8/hmlist/pebr");
+    mixed_ops::<ds::hp::HMList<u64, u64>>(c, "fig8/hmlist/hp");
+    mixed_ops::<ds::hpp::HMList<u64, u64>>(c, "fig8/hmlist/hp++");
+    mixed_ops::<ds::cdrc::HMList<u64, u64>>(c, "fig8/hmlist/rc");
+
+    mixed_ops::<ds::guarded::HHSList<u64, u64, ebr::Ebr>>(c, "fig8/hhslist/ebr");
+    mixed_ops::<ds::hpp::HHSList<u64, u64>>(c, "fig8/hhslist/hp++");
+    mixed_ops::<ds::cdrc::HHSList<u64, u64>>(c, "fig8/hhslist/rc");
+
+    mixed_ops::<ds::hash_map::HashMap<u64, u64, ds::guarded::HHSList<u64, u64, ebr::Ebr>>>(
+        c,
+        "fig8/hashmap/ebr",
+    );
+    mixed_ops::<ds::hp::HashMap<u64, u64>>(c, "fig8/hashmap/hp");
+    mixed_ops::<ds::hpp::HashMap<u64, u64>>(c, "fig8/hashmap/hp++");
+
+    mixed_ops::<ds::guarded::SkipList<u64, u64, ebr::Ebr>>(c, "fig8/skiplist/ebr");
+    mixed_ops::<ds::hp::SkipList<u64, u64>>(c, "fig8/skiplist/hp");
+    mixed_ops::<ds::hpp::SkipList<u64, u64>>(c, "fig8/skiplist/hp++");
+
+    mixed_ops::<ds::guarded::NMTree<u64, u64, ebr::Ebr>>(c, "fig8/nmtree/ebr");
+    mixed_ops::<ds::hpp::NMTree<u64, u64>>(c, "fig8/nmtree/hp++");
+
+    mixed_ops::<ds::guarded::EFRBTree<u64, u64, ebr::Ebr>>(c, "fig8/efrbtree/ebr");
+    mixed_ops::<ds::hp::EFRBTree<u64, u64>>(c, "fig8/efrbtree/hp");
+    mixed_ops::<ds::hpp::EFRBTree<u64, u64>>(c, "fig8/efrbtree/hp++");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(800)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Criterion anchor for Figure 9: HP vs HP++ under heavy contention
+//! (small key range), multi-threaded batches via `iter_custom`.
+//!
+//! Full sweep: `cargo run --release -p bench --bin fig9`.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use smr_common::ConcurrentMap;
+
+const OPS_PER_THREAD: u64 = 2000;
+
+fn contended_batch<M>(threads: usize, key_range: u64) -> Duration
+where
+    M: ConcurrentMap<u64, u64> + Send + Sync,
+{
+    let map = M::new();
+    {
+        let mut h = map.handle();
+        for k in (0..key_range).step_by(2) {
+            map.insert(&mut h, k, k);
+        }
+    }
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for tid in 0..threads {
+            let map = &map;
+            s.spawn(move || {
+                let mut h = map.handle();
+                let mut rng = SmallRng::seed_from_u64(tid as u64);
+                for _ in 0..OPS_PER_THREAD {
+                    let key = rng.gen_range(0..key_range);
+                    match rng.gen_range(0..4) {
+                        0 => {
+                            std::hint::black_box(map.insert(&mut h, key, key));
+                        }
+                        1 => {
+                            std::hint::black_box(map.remove(&mut h, &key));
+                        }
+                        _ => {
+                            std::hint::black_box(map.get(&mut h, &key));
+                        }
+                    }
+                }
+            });
+        }
+    });
+    start.elapsed()
+}
+
+fn bench(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(4);
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+
+    // List category, small range (paper: 16): HP's best is HMList, HP++'s
+    // best is HHSList — the contention crossover.
+    group.bench_function("list-small/hp(hmlist)", |b| {
+        b.iter_custom(|iters| {
+            (0..iters)
+                .map(|_| contended_batch::<ds::hp::HMList<u64, u64>>(threads, 16))
+                .sum()
+        })
+    });
+    group.bench_function("list-small/hp++(hhslist)", |b| {
+        b.iter_custom(|iters| {
+            (0..iters)
+                .map(|_| contended_batch::<ds::hpp::HHSList<u64, u64>>(threads, 16))
+                .sum()
+        })
+    });
+
+    // Tree category, small range (paper: 128).
+    group.bench_function("tree-small/hp(efrbtree)", |b| {
+        b.iter_custom(|iters| {
+            (0..iters)
+                .map(|_| contended_batch::<ds::hp::EFRBTree<u64, u64>>(threads, 128))
+                .sum()
+        })
+    });
+    group.bench_function("tree-small/hp++(nmtree)", |b| {
+        b.iter_custom(|iters| {
+            (0..iters)
+                .map(|_| contended_batch::<ds::hpp::NMTree<u64, u64>>(threads, 128))
+                .sum()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

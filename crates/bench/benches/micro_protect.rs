@@ -1,0 +1,99 @@
+//! Micro-benchmarks of the protection primitives themselves: the cost the
+//! paper's §3.4 optimizations target.
+//!
+//! * `protect/hp` — original HP announce + validate (light fence).
+//! * `protect/hp++` — HP++ `try_protect` (announce + invalidity check).
+//! * `pin/ebr` — EBR critical-section entry/exit.
+//! * `unlink/hp++` — `try_unlink` + deferred invalidation amortized cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smr_common::{Atomic, Shared};
+
+fn bench(c: &mut Criterion) {
+    // HP protect+validate.
+    {
+        let domain: &'static hp::Domain = Box::leak(Box::new(hp::Domain::new()));
+        let mut thread = domain.register();
+        let hp_slot = thread.hazard_pointer();
+        let atomic = Atomic::new(42u64);
+        c.bench_function("protect/hp", |b| {
+            b.iter(|| {
+                let p = atomic.load(std::sync::atomic::Ordering::Acquire);
+                std::hint::black_box(hp_slot.try_protect(p, &atomic).is_ok())
+            })
+        });
+        unsafe {
+            atomic.into_owned();
+        }
+    }
+
+    // HP++ try_protect.
+    {
+        let domain: &'static hp_plus::Domain = Box::leak(Box::new(hp_plus::Domain::new()));
+        let mut thread = domain.register();
+        let hp_slot = thread.hazard_pointer();
+        let atomic = Atomic::new(42u64);
+        c.bench_function("protect/hp++", |b| {
+            b.iter(|| {
+                let mut p = atomic.load(std::sync::atomic::Ordering::Acquire).with_tag(0);
+                std::hint::black_box(hp_plus::try_protect(&hp_slot, &mut p, &atomic, || false))
+            })
+        });
+        unsafe {
+            atomic.into_owned();
+        }
+    }
+
+    // EBR pin/unpin.
+    {
+        let collector: &'static ebr::Collector = Box::leak(Box::new(ebr::Collector::new()));
+        let mut handle = collector.register();
+        c.bench_function("pin/ebr", |b| {
+            b.iter(|| {
+                let g = handle.pin();
+                std::hint::black_box(&g);
+            })
+        });
+    }
+
+    // HP++ unlink + invalidation, amortized over a tiny chain workload.
+    {
+        struct N(Atomic<N>);
+        unsafe impl hp_plus::Invalidate for N {
+            unsafe fn invalidate(ptr: *mut Self) {
+                let n = unsafe { &*ptr };
+                let c = n.0.load(std::sync::atomic::Ordering::Relaxed);
+                n.0.store(c.with_tag(2), std::sync::atomic::Ordering::Release);
+            }
+        }
+        let domain: &'static hp_plus::Domain = Box::leak(Box::new(hp_plus::Domain::new()));
+        let mut thread = domain.register();
+        let head: Atomic<N> = Atomic::null();
+        c.bench_function("unlink/hp++", |b| {
+            b.iter(|| {
+                let node = Shared::from_owned(N(Atomic::null()));
+                head.store(node, std::sync::atomic::Ordering::Release);
+                let ok = unsafe {
+                    thread.try_unlink(&[], || {
+                        head.compare_exchange(
+                            node,
+                            Shared::null(),
+                            std::sync::atomic::Ordering::AcqRel,
+                            std::sync::atomic::Ordering::Acquire,
+                        )
+                        .ok()
+                        .map(|_| hp_plus::Unlinked::single(node))
+                    })
+                };
+                std::hint::black_box(ok)
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

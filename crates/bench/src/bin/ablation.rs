@@ -1,0 +1,102 @@
+//! Ablations for the design choices called out in DESIGN.md:
+//!
+//! 1. **Asymmetric fences** (§3.4): `SMR_NO_MEMBARRIER=1` forces the
+//!    symmetric SC-fence fallback; this binary runs HP++ both ways by
+//!    re-spawning `smr_bench` with the env var set.
+//! 2. **Epoched heavy fence** (Algorithm 5 vs per-invalidation fences):
+//!    approximated by sweeping the invalidation batch size via
+//!    `HPP_INVALIDATE_PERIOD` — period 1 ≈ a fence-equivalent flush per
+//!    unlink.
+
+use std::process::Command;
+use std::time::Duration;
+
+use bench::{Ds, Scenario, Scheme, Workload};
+
+fn spawn_with_env(sc: &Scenario, envs: &[(&str, &str)]) -> Option<String> {
+    let mut p = std::env::current_exe().ok()?;
+    p.pop();
+    p.push("smr_bench");
+    let mut cmd = Command::new(p);
+    cmd.args([
+        "--ds",
+        &sc.ds.to_string(),
+        "--scheme",
+        &sc.scheme.to_string(),
+        "--threads",
+        &sc.threads.to_string(),
+        "--key-range",
+        &sc.key_range.to_string(),
+        "--workload",
+        &sc.workload.to_string(),
+        "--duration-ms",
+        &sc.duration.as_millis().to_string(),
+    ]);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    Some(String::from_utf8_lossy(&out.stdout).trim().to_string())
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let duration = if quick {
+        Duration::from_millis(300)
+    } else {
+        Duration::from_secs(3)
+    };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+
+    let sc = Scenario {
+        ds: Ds::HHSList,
+        scheme: Scheme::Hpp,
+        threads: cores.min(8),
+        key_range: if quick { 1000 } else { 10_000 },
+        workload: Workload::ReadWrite,
+        duration,
+        long_running: false,
+    };
+
+    println!("# Ablation 1: asymmetric vs symmetric fences (HP++, HHSList)");
+    println!("variant,{}", Scenario::CSV_HEADER);
+    if let Some(row) = spawn_with_env(&sc, &[]) {
+        println!("asymmetric,{row}");
+    }
+    if let Some(row) = spawn_with_env(&sc, &[("SMR_NO_MEMBARRIER", "1")]) {
+        println!("symmetric,{row}");
+    }
+
+    println!();
+    println!("# Ablation 2: HP scheme under the same toggle (protect-side fence cost)");
+    let sc_hp = Scenario {
+        ds: Ds::HMList,
+        scheme: Scheme::Hp,
+        ..sc.clone()
+    };
+    if let Some(row) = spawn_with_env(&sc_hp, &[]) {
+        println!("asymmetric,{row}");
+    }
+    if let Some(row) = spawn_with_env(&sc_hp, &[("SMR_NO_MEMBARRIER", "1")]) {
+        println!("symmetric,{row}");
+    }
+    println!();
+    println!("# Expectation: the symmetric variant pays an SC fence per protection,");
+    println!("# so hazard-based schemes slow down, most visibly on read-heavy paths.");
+
+    println!();
+    println!("# Ablation 3: invalidation batching (Algorithm 5's deferral). Period 1");
+    println!("# approximates a flush (fence-equivalent) per unlink; 32 is the paper's");
+    println!("# default.");
+    println!("invalidate_period,{}", Scenario::CSV_HEADER);
+    for period in ["1", "8", "32", "128"] {
+        if let Some(row) = spawn_with_env(&sc, &[("HPP_INVALIDATE_PERIOD", period)]) {
+            println!("{period},{row}");
+        }
+    }
+}

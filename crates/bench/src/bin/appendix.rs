@@ -1,0 +1,51 @@
+//! Appendix C (Figures 12–23): the full workload × metric matrix.
+//!
+//! * Figs. 12–14: throughput per workload mix.
+//! * Figs. 15–17: peak unreclaimed blocks per workload mix.
+//! * Figs. 18–20: peak memory usage per workload mix.
+//! * Figs. 21–23: average unreclaimed blocks per workload mix.
+//!
+//! One run per (ds, scheme, threads, workload) produces all four metrics,
+//! so this binary sweeps once and emits a combined CSV; use `--metric` to
+//! restrict the printed summary.
+
+use bench::orchestrate::{emit, run_scenario, Opts};
+use bench::{thread_sweep, Ds, Scenario, Scheme, Workload};
+
+fn main() {
+    let opts = Opts::parse();
+    let args: Vec<String> = std::env::args().collect();
+    let metric = args
+        .iter()
+        .position(|a| a == "--metric")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+
+    println!("# Appendix C (Figs. 12-23), metric filter: {metric}");
+    println!("{}", Scenario::CSV_HEADER);
+    for workload in [Workload::WriteOnly, Workload::ReadWrite, Workload::ReadMost] {
+        for ds in Ds::ALL {
+            for threads in thread_sweep(opts.quick) {
+                for scheme in Scheme::ALL {
+                    let sc = Scenario {
+                        ds,
+                        scheme,
+                        threads,
+                        key_range: if opts.quick {
+                            ds.big_range() / 10
+                        } else {
+                            ds.big_range()
+                        },
+                        workload,
+                        duration: opts.duration(),
+                        long_running: false,
+                    };
+                    if let Some(stats) = run_scenario(&sc, &opts) {
+                        emit("appendix", &sc, &stats);
+                    }
+                }
+            }
+        }
+    }
+}

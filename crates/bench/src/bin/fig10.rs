@@ -1,0 +1,52 @@
+//! Figure 10: throughput of long-running read operations over lists with
+//! growing key ranges (2^18 … 2^26 in the paper), while writer threads
+//! churn the head. PEBR's coarse-grained ejection makes its curve plunge;
+//! HP++'s fine-grained protection failures do not.
+//!
+//! HMList is used for HP, HHSList for the other schemes (as in the paper).
+
+use bench::orchestrate::{emit, run_scenario, Opts};
+use bench::{Ds, Scenario, Scheme, Workload};
+
+fn main() {
+    let opts = Opts::parse();
+    println!("# Figure 10: long-running read throughput vs key range");
+    println!("{}", Scenario::CSV_HEADER);
+
+    let exponents: Vec<u32> = if opts.paper {
+        (18..=26).collect()
+    } else if opts.quick {
+        (14..=18).step_by(2).collect()
+    } else {
+        (16..=22).step_by(2).collect()
+    };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let readers = if opts.paper { 32 } else { (cores / 2).max(2) };
+
+    for exp in exponents {
+        for scheme in Scheme::ALL {
+            let ds = if scheme == Scheme::Hp {
+                Ds::HMList
+            } else {
+                Ds::HHSList
+            };
+            let sc = Scenario {
+                ds,
+                scheme,
+                threads: readers,
+                key_range: 1u64 << exp,
+                workload: Workload::ReadMost, // ignored in long-running mode
+                duration: opts.duration(),
+                long_running: true,
+            };
+            if let Some(stats) = run_scenario(&sc, &opts) {
+                emit("fig10", &sc, &stats);
+            }
+        }
+    }
+    println!();
+    println!("# Expectation (paper): PEBR's relative throughput plunges at large");
+    println!("# key ranges (reads get ejected and restart); HP++ tracks EBR/NR.");
+}

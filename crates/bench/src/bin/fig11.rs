@@ -1,0 +1,40 @@
+//! Figure 11: peak number of retired-but-unreclaimed blocks of read-write
+//! workloads, varying thread count.
+
+use bench::orchestrate::{emit, run_scenario, Opts};
+use bench::{thread_sweep, Ds, Scenario, Scheme, Workload};
+
+fn main() {
+    let opts = Opts::parse();
+    println!("# Figure 11: peak unreclaimed blocks, read-write, big key range");
+    println!("{}", Scenario::CSV_HEADER);
+    for ds in Ds::ALL {
+        for threads in thread_sweep(opts.quick) {
+            for scheme in Scheme::ALL {
+                if scheme == Scheme::Rc {
+                    continue; // metric not well-defined for RC (paper fn. 13)
+                }
+                let sc = Scenario {
+                    ds,
+                    scheme,
+                    threads,
+                    key_range: if opts.quick {
+                        ds.big_range() / 10
+                    } else {
+                        ds.big_range()
+                    },
+                    workload: Workload::ReadWrite,
+                    duration: opts.duration(),
+                    long_running: false,
+                };
+                if let Some(stats) = run_scenario(&sc, &opts) {
+                    emit("fig11", &sc, &stats);
+                }
+            }
+        }
+    }
+    println!();
+    println!("# Expectation (paper): NR grows without bound; EBR spikes under");
+    println!("# oversubscription; HP stays lowest; HP++ tracks HP's trend with a");
+    println!("# constant overhead from frontier protection / deferred retirement.");
+}

@@ -1,0 +1,33 @@
+//! Figure 8: throughput of read-write workloads, big key range, varying
+//! thread count, for every data structure × scheme.
+
+use bench::orchestrate::{emit, run_scenario, Opts};
+use bench::{thread_sweep, Ds, Scenario, Scheme, Workload};
+
+fn main() {
+    let opts = Opts::parse();
+    println!("# Figure 8: read-write throughput, big key range");
+    println!("{}", Scenario::CSV_HEADER);
+    for ds in Ds::ALL {
+        for threads in thread_sweep(opts.quick) {
+            for scheme in Scheme::ALL {
+                let sc = Scenario {
+                    ds,
+                    scheme,
+                    threads,
+                    key_range: if opts.quick {
+                        ds.big_range() / 10
+                    } else {
+                        ds.big_range()
+                    },
+                    workload: Workload::ReadWrite,
+                    duration: opts.duration(),
+                    long_running: false,
+                };
+                if let Some(stats) = run_scenario(&sc, &opts) {
+                    emit("fig8", &sc, &stats);
+                }
+            }
+        }
+    }
+}

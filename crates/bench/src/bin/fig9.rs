@@ -1,0 +1,67 @@
+//! Figure 9: maximum throughput per category (list / tree), HP vs HP++,
+//! small and big key ranges — the contention crossover.
+//!
+//! HP is only applicable to HMList and EFRBTree; HP++ additionally unlocks
+//! HHSList and NMTree. Each category reports the best structure per scheme,
+//! exactly as the paper's "max throughput achievable in each category".
+
+use bench::orchestrate::{run_scenario, Opts};
+use bench::{thread_sweep, Ds, Scenario, Scheme, Workload};
+
+fn best(
+    structures: &[Ds],
+    scheme: Scheme,
+    threads: usize,
+    small: bool,
+    opts: &Opts,
+) -> Option<(Ds, f64)> {
+    let mut best: Option<(Ds, f64)> = None;
+    for &ds in structures {
+        let key_range = if small {
+            ds.small_range()
+        } else if opts.quick {
+            ds.big_range() / 10
+        } else {
+            ds.big_range()
+        };
+        let sc = Scenario {
+            ds,
+            scheme,
+            threads,
+            key_range,
+            workload: Workload::ReadWrite,
+            duration: opts.duration(),
+            long_running: false,
+        };
+        if let Some(stats) = run_scenario(&sc, opts) {
+            if best.map(|(_, b)| stats.throughput_mops > b).unwrap_or(true) {
+                best = Some((ds, stats.throughput_mops));
+            }
+        }
+    }
+    best
+}
+
+fn main() {
+    let opts = Opts::parse();
+    println!("# Figure 9: best-in-category throughput, HP vs HP++");
+    println!("category,key_range,threads,scheme,best_ds,throughput_mops");
+    let lists = [Ds::HMList, Ds::HHSList];
+    let trees = [Ds::EFRBTree, Ds::NMTree];
+    for (cat, structures) in [("list", &lists[..]), ("tree", &trees[..])] {
+        for small in [true, false] {
+            for threads in thread_sweep(opts.quick) {
+                for scheme in [Scheme::Hp, Scheme::Hpp] {
+                    if let Some((ds, mops)) = best(structures, scheme, threads, small, &opts) {
+                        let range = if small { "small" } else { "big" };
+                        println!("{cat},{range},{threads},{scheme},{ds},{mops:.4}");
+                    }
+                }
+            }
+        }
+    }
+    println!();
+    println!("# Expectation (paper): under heavy contention (small range) or for");
+    println!("# trees, HP++'s access to the optimistic structures (HHSList, NMTree)");
+    println!("# beats the best HP-compatible structure by a large margin.");
+}

@@ -1,0 +1,26 @@
+//! Table 2: the applicability matrix, regenerated from what actually
+//! compiles in `crates/ds` (the dispatch table of `bench::applicable`).
+
+use bench::{applicable, Ds, Scheme};
+
+fn main() {
+    println!("# Table 2: applicability of reclamation schemes (this repository)");
+    print!("{:<12}", "structure");
+    for scheme in Scheme::ALL {
+        print!("{:>8}", scheme.to_string());
+    }
+    println!();
+    for ds in Ds::ALL {
+        print!("{:<12}", ds.to_string());
+        for scheme in Scheme::ALL {
+            let mark = if applicable(ds, scheme) { "yes" } else { "-" };
+            print!("{mark:>8}");
+        }
+        println!();
+    }
+    println!();
+    println!("# '-' entries are the paper's inapplicability results: HP cannot");
+    println!("# protect optimistic traversal (HHSList, NMTree; §2.3), and RC is");
+    println!("# implemented for the list-shaped structures (the paper likewise");
+    println!("# omits the RC trees, whose descriptors form cycles; fn. 12).");
+}

@@ -1,0 +1,23 @@
+//! The benchmark harness reproducing the paper's evaluation (§5).
+//!
+//! Every table and figure has a dedicated binary (see `src/bin/`): `fig8`,
+//! `fig9`, `fig10`, `fig11`, `appendix` (Figs. 12–23), `table1_bounds`,
+//! `table2`, plus `smr_bench` which runs a single scenario (the figure
+//! binaries spawn it as a subprocess so each scenario gets a clean global
+//! garbage counter and address space) and `ablation` for the design-choice
+//! experiments called out in DESIGN.md.
+//!
+//! Scenarios follow the paper's methodology: structures prefilled to 50% of
+//! the key range, keys drawn uniformly, fixed-duration runs, throughput in
+//! Mops/s, and garbage metrics sampled at 10 ms.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod metrics;
+pub mod orchestrate;
+pub mod runner;
+
+pub use config::{thread_sweep, Ds, Scenario, Scheme, Workload};
+pub use metrics::Stats;
+pub use runner::{applicable, run, run_map};

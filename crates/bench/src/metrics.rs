@@ -1,0 +1,117 @@
+//! Garbage and memory sampling during a measurement window.
+
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Result of one scenario run.
+#[derive(Debug, Clone)]
+pub struct Stats {
+    /// Completed operations per second, in millions.
+    pub throughput_mops: f64,
+    /// Peak retired-but-unreclaimed blocks (relative to scenario start).
+    pub peak_garbage: u64,
+    /// Time-averaged unreclaimed blocks.
+    pub avg_garbage: u64,
+    /// Peak resident set size in MiB.
+    pub peak_rss_mb: f64,
+}
+
+impl Stats {
+    /// The measured part of a CSV row.
+    pub fn csv_suffix(&self) -> String {
+        format!(
+            "{:.6},{},{},{:.1}",
+            self.throughput_mops, self.peak_garbage, self.avg_garbage, self.peak_rss_mb
+        )
+    }
+}
+
+fn rss_bytes() -> u64 {
+    // /proc/self/statm: pages; field 1 = resident.
+    std::fs::read_to_string("/proc/self/statm")
+        .ok()
+        .and_then(|s| {
+            s.split_whitespace()
+                .nth(1)
+                .and_then(|f| f.parse::<u64>().ok())
+        })
+        .map(|pages| pages * 4096)
+        .unwrap_or(0)
+}
+
+/// Samples the global garbage counter and RSS until stopped.
+pub struct Sampler {
+    stop: Arc<AtomicBool>,
+    handle: JoinHandle<(u64, u64, u64)>,
+    baseline: u64,
+}
+
+impl Sampler {
+    /// Starts sampling every `interval`.
+    pub fn start(interval: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let baseline = smr_common::counters::garbage_now();
+        let stop2 = stop.clone();
+        let handle = std::thread::spawn(move || {
+            let mut peak_garbage = 0u64;
+            let mut sum_garbage = 0u128;
+            let mut samples = 0u64;
+            let mut peak_rss = 0u64;
+            while !stop2.load(Relaxed) {
+                let g = smr_common::counters::garbage_now().saturating_sub(baseline);
+                peak_garbage = peak_garbage.max(g);
+                sum_garbage += g as u128;
+                samples += 1;
+                peak_rss = peak_rss.max(rss_bytes());
+                std::thread::sleep(interval);
+            }
+            let avg = if samples > 0 {
+                (sum_garbage / samples as u128) as u64
+            } else {
+                0
+            };
+            (peak_garbage, avg, peak_rss)
+        });
+        Self {
+            stop,
+            handle,
+            baseline,
+        }
+    }
+
+    /// Stops sampling; returns (peak garbage, avg garbage, peak RSS bytes).
+    pub fn finish(self) -> (u64, u64, u64) {
+        self.stop.store(true, Relaxed);
+        let _ = self.baseline;
+        self.handle.join().expect("sampler panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_suffix_has_four_fields() {
+        let s = Stats {
+            throughput_mops: 1.25,
+            peak_garbage: 10,
+            avg_garbage: 5,
+            peak_rss_mb: 3.5,
+        };
+        assert_eq!(s.csv_suffix().split(',').count(), 4);
+    }
+
+    #[test]
+    fn sampler_tracks_garbage_peak() {
+        let sampler = Sampler::start(Duration::from_millis(1));
+        smr_common::counters::incr_garbage(500);
+        std::thread::sleep(Duration::from_millis(20));
+        smr_common::counters::decr_garbage(500);
+        let (peak, _avg, rss) = sampler.finish();
+        assert!(peak >= 500, "peak {peak} missed the spike");
+        assert!(rss > 0, "rss sampling failed");
+    }
+}

@@ -1,0 +1,122 @@
+//! Spawning per-scenario subprocesses and collecting CSV rows.
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::Duration;
+
+use crate::config::Scenario;
+use crate::metrics::Stats;
+
+/// Common CLI options for the figure binaries.
+pub struct Opts {
+    /// CI-scale run: fewer threads, shorter durations, smaller ranges.
+    pub quick: bool,
+    /// Paper-scale run: 10 s × full sweeps.
+    pub paper: bool,
+    /// Run scenarios in-process instead of spawning `smr_bench`
+    /// (faster, but garbage counters bleed across scenarios).
+    pub in_process: bool,
+}
+
+impl Opts {
+    /// Parses the standard flags from `std::env::args`.
+    pub fn parse() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        Self {
+            quick: args.iter().any(|a| a == "--quick"),
+            paper: args.iter().any(|a| a == "--paper"),
+            in_process: args.iter().any(|a| a == "--in-process"),
+        }
+    }
+
+    /// Measurement duration per scenario.
+    pub fn duration(&self) -> Duration {
+        if self.paper {
+            Duration::from_secs(10)
+        } else if self.quick {
+            Duration::from_millis(300)
+        } else {
+            Duration::from_secs(3)
+        }
+    }
+}
+
+fn smr_bench_path() -> PathBuf {
+    let mut p = std::env::current_exe().expect("current_exe");
+    p.pop();
+    p.push("smr_bench");
+    p
+}
+
+/// Runs one scenario, either in a subprocess (default) or in-process.
+pub fn run_scenario(sc: &Scenario, opts: &Opts) -> Option<Stats> {
+    if !crate::runner::applicable(sc.ds, sc.scheme) {
+        return None;
+    }
+    if opts.in_process {
+        return crate::runner::run(sc);
+    }
+    let out = Command::new(smr_bench_path())
+        .args([
+            "--ds",
+            &sc.ds.to_string(),
+            "--scheme",
+            &sc.scheme.to_string(),
+            "--threads",
+            &sc.threads.to_string(),
+            "--key-range",
+            &sc.key_range.to_string(),
+            "--workload",
+            &sc.workload.to_string(),
+            "--duration-ms",
+            &sc.duration.as_millis().to_string(),
+        ])
+        .args(if sc.long_running {
+            vec!["--long-running"]
+        } else {
+            vec![]
+        })
+        .output()
+        .expect("failed to spawn smr_bench; run via cargo so sibling binaries are built");
+    if !out.status.success() {
+        eprintln!(
+            "smr_bench failed for {}: {}",
+            sc.csv_prefix(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        return None;
+    }
+    let line = String::from_utf8_lossy(&out.stdout);
+    parse_csv_line(line.trim())
+}
+
+fn parse_csv_line(line: &str) -> Option<Stats> {
+    // ds,scheme,threads,key_range,workload,mops,peak,avg,rss
+    let fields: Vec<&str> = line.split(',').collect();
+    if fields.len() != 9 {
+        eprintln!("malformed smr_bench output: {line}");
+        return None;
+    }
+    Some(Stats {
+        throughput_mops: fields[5].parse().ok()?,
+        peak_garbage: fields[6].parse().ok()?,
+        avg_garbage: fields[7].parse().ok()?,
+        peak_rss_mb: fields[8].parse().ok()?,
+    })
+}
+
+/// Prints a row and appends it to `results/<name>.csv`.
+pub fn emit(name: &str, sc: &Scenario, stats: &Stats) {
+    let row = format!("{},{}", sc.csv_prefix(), stats.csv_suffix());
+    println!("{row}");
+    let _ = std::fs::create_dir_all("results");
+    use std::io::Write;
+    let path = format!("results/{name}.csv");
+    let fresh = !std::path::Path::new(&path).exists();
+    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+        if fresh {
+            let _ = writeln!(f, "{}", Scenario::CSV_HEADER);
+        }
+        let _ = writeln!(f, "{row}");
+    }
+}

@@ -1,0 +1,275 @@
+//! The scenario runner: prefill, timed mixed workload, metric collection.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use smr_common::ConcurrentMap;
+
+use crate::config::{Ds, Scenario, Scheme};
+use crate::metrics::{Sampler, Stats};
+
+/// Runs one scenario against a concrete map type.
+pub fn run_map<M>(sc: &Scenario) -> Stats
+where
+    M: ConcurrentMap<u64, u64> + Send + Sync,
+{
+    if sc.long_running {
+        run_long_running::<M>(sc)
+    } else {
+        run_mixed::<M>(sc)
+    }
+}
+
+fn prefill<M>(map: &M, key_range: u64)
+where
+    M: ConcurrentMap<u64, u64> + Send + Sync,
+{
+    // Fill to 50% with evenly spread keys, in parallel, in *random order* —
+    // sorted insertion would degenerate the unbalanced external BSTs.
+    let fillers = std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(4) as u64;
+    std::thread::scope(|s| {
+        for f in 0..fillers {
+            let map = &map;
+            s.spawn(move || {
+                let mut h = map.handle();
+                let mut keys: Vec<u64> = (0..key_range)
+                    .step_by(2)
+                    .skip(f as usize)
+                    .step_by(fillers as usize)
+                    .collect();
+                let mut rng = SmallRng::seed_from_u64(0xF111 ^ f);
+                // Fisher–Yates shuffle.
+                for i in (1..keys.len()).rev() {
+                    keys.swap(i, rng.gen_range(0..=i));
+                }
+                for k in keys {
+                    map.insert(&mut h, k, k);
+                }
+            });
+        }
+    });
+}
+
+fn run_mixed<M>(sc: &Scenario) -> Stats
+where
+    M: ConcurrentMap<u64, u64> + Send + Sync,
+{
+    let map = M::new();
+    prefill(&map, sc.key_range);
+
+    let stop = AtomicBool::new(false);
+    let total_ops = AtomicU64::new(0);
+    let sampler = Sampler::start(Duration::from_millis(10));
+    let started = Instant::now();
+
+    std::thread::scope(|s| {
+        for tid in 0..sc.threads {
+            let map = &map;
+            let stop = &stop;
+            let total_ops = &total_ops;
+            let sc = sc.clone();
+            s.spawn(move || {
+                let mut h = map.handle();
+                let mut rng = SmallRng::seed_from_u64(0x5EED ^ tid as u64);
+                let mut ops = 0u64;
+                while !stop.load(Relaxed) {
+                    for _ in 0..64 {
+                        let key = rng.gen_range(0..sc.key_range);
+                        let dice = rng.gen_range(0..100);
+                        if dice < sc.workload.read_pct() {
+                            std::hint::black_box(map.get(&mut h, &key));
+                        } else if dice % 2 == 0 {
+                            std::hint::black_box(map.insert(&mut h, key, key));
+                        } else {
+                            std::hint::black_box(map.remove(&mut h, &key));
+                        }
+                        ops += 1;
+                    }
+                }
+                total_ops.fetch_add(ops, Relaxed);
+            });
+        }
+        // Timer thread.
+        let stop = &stop;
+        let duration = sc.duration;
+        s.spawn(move || {
+            std::thread::sleep(duration);
+            stop.store(true, Relaxed);
+        });
+    });
+
+    let elapsed = started.elapsed().as_secs_f64();
+    let (peak_garbage, avg_garbage, peak_rss) = sampler.finish();
+    Stats {
+        throughput_mops: total_ops.load(Relaxed) as f64 / elapsed / 1e6,
+        peak_garbage,
+        avg_garbage,
+        peak_rss_mb: peak_rss as f64 / (1024.0 * 1024.0),
+    }
+}
+
+/// Fig. 10: long-running read operations under heavy reclamation.
+/// `sc.threads` readers issue `get`s over the whole (large) key range while
+/// the same number of writers churn insert/remove over a small hot region
+/// near the head. Throughput counts completed reads only.
+fn run_long_running<M>(sc: &Scenario) -> Stats
+where
+    M: ConcurrentMap<u64, u64> + Send + Sync,
+{
+    let map = M::new();
+    // Lists only (Fig. 10): descending keys insert at the head, making the
+    // huge prefill O(n) instead of O(n^2).
+    {
+        let mut h = map.handle();
+        let mut k = sc.key_range & !1;
+        while k >= 2 {
+            k -= 2;
+            map.insert(&mut h, k, k);
+        }
+    }
+
+    let stop = AtomicBool::new(false);
+    let read_ops = AtomicU64::new(0);
+    let sampler = Sampler::start(Duration::from_millis(10));
+    let started = Instant::now();
+
+    std::thread::scope(|s| {
+        for tid in 0..sc.threads {
+            let map = &map;
+            let stop = &stop;
+            let read_ops = &read_ops;
+            let key_range = sc.key_range;
+            s.spawn(move || {
+                let mut h = map.handle();
+                let mut rng = SmallRng::seed_from_u64(0xBEEF ^ tid as u64);
+                let mut ops = 0u64;
+                while !stop.load(Relaxed) {
+                    let key = rng.gen_range(0..key_range);
+                    std::hint::black_box(map.get(&mut h, &key));
+                    ops += 1;
+                }
+                read_ops.fetch_add(ops, Relaxed);
+            });
+        }
+        for tid in 0..sc.threads {
+            let map = &map;
+            let stop = &stop;
+            s.spawn(move || {
+                let mut h = map.handle();
+                let mut rng = SmallRng::seed_from_u64(0xF00D ^ tid as u64);
+                while !stop.load(Relaxed) {
+                    // Head churn: push/pop small keys to force reclamation.
+                    let key = rng.gen_range(0..64);
+                    map.insert(&mut h, key, key);
+                    map.remove(&mut h, &key);
+                }
+            });
+        }
+        let stop = &stop;
+        let duration = sc.duration;
+        s.spawn(move || {
+            std::thread::sleep(duration);
+            stop.store(true, Relaxed);
+        });
+    });
+
+    let elapsed = started.elapsed().as_secs_f64();
+    let (peak_garbage, avg_garbage, peak_rss) = sampler.finish();
+    Stats {
+        throughput_mops: read_ops.load(Relaxed) as f64 / elapsed / 1e6,
+        peak_garbage,
+        avg_garbage,
+        peak_rss_mb: peak_rss as f64 / (1024.0 * 1024.0),
+    }
+}
+
+/// Is this (structure, scheme) pair implemented? The gaps are the paper's
+/// inapplicability results (Table 2) plus the RC trees the paper omits.
+pub fn applicable(ds: Ds, scheme: Scheme) -> bool {
+    match (ds, scheme) {
+        // HP cannot protect optimistic traversal (§2.3).
+        (Ds::HHSList, Scheme::Hp) | (Ds::NMTree, Scheme::Hp) => false,
+        // CDRC implemented for the list-shaped structures (the paper also
+        // omits the RC trees).
+        (Ds::SkipList | Ds::NMTree | Ds::EFRBTree | Ds::BonsaiTree, Scheme::Rc) => false,
+        _ => true,
+    }
+}
+
+/// Dispatches a scenario to the concrete (structure × scheme) type.
+/// Returns `None` for inapplicable pairs.
+pub fn run(sc: &Scenario) -> Option<Stats> {
+    use ds::guarded;
+    use ds::hp as dshp;
+    use ds::hpp;
+
+    if !applicable(sc.ds, sc.scheme) {
+        return None;
+    }
+
+    macro_rules! guarded3 {
+        ($list:ident) => {
+            match sc.scheme {
+                Scheme::Nr => Some(run_map::<guarded::$list<u64, u64, nr::Nr>>(sc)),
+                Scheme::Ebr => Some(run_map::<guarded::$list<u64, u64, ebr::Ebr>>(sc)),
+                Scheme::Pebr => Some(run_map::<guarded::$list<u64, u64, pebr::Pebr>>(sc)),
+                _ => None,
+            }
+        };
+    }
+
+    let stats = match sc.ds {
+        Ds::HMList => guarded3!(HMList).or_else(|| match sc.scheme {
+            Scheme::Hp => Some(run_map::<dshp::HMList<u64, u64>>(sc)),
+            Scheme::Hpp => Some(run_map::<hpp::HMList<u64, u64>>(sc)),
+            Scheme::Rc => Some(run_map::<ds::cdrc::HMList<u64, u64>>(sc)),
+            _ => None,
+        }),
+        Ds::HHSList => guarded3!(HHSList).or_else(|| match sc.scheme {
+            Scheme::Hpp => Some(run_map::<hpp::HHSList<u64, u64>>(sc)),
+            Scheme::Rc => Some(run_map::<ds::cdrc::HHSList<u64, u64>>(sc)),
+            _ => None,
+        }),
+        Ds::HashMap => match sc.scheme {
+            // Paper §5: HMList buckets for HP, HHSList buckets otherwise.
+            Scheme::Nr => Some(run_map::<
+                ds::hash_map::HashMap<u64, u64, guarded::HHSList<u64, u64, nr::Nr>>,
+            >(sc)),
+            Scheme::Ebr => Some(run_map::<
+                ds::hash_map::HashMap<u64, u64, guarded::HHSList<u64, u64, ebr::Ebr>>,
+            >(sc)),
+            Scheme::Pebr => Some(run_map::<
+                ds::hash_map::HashMap<u64, u64, guarded::HHSList<u64, u64, pebr::Pebr>>,
+            >(sc)),
+            Scheme::Hp => Some(run_map::<dshp::HashMap<u64, u64>>(sc)),
+            Scheme::Hpp => Some(run_map::<hpp::HashMap<u64, u64>>(sc)),
+            Scheme::Rc => Some(run_map::<
+                ds::hash_map::HashMap<u64, u64, ds::cdrc::HHSList<u64, u64>>,
+            >(sc)),
+        },
+        Ds::SkipList => guarded3!(SkipList).or_else(|| match sc.scheme {
+            Scheme::Hp => Some(run_map::<dshp::SkipList<u64, u64>>(sc)),
+            Scheme::Hpp => Some(run_map::<hpp::SkipList<u64, u64>>(sc)),
+            _ => None,
+        }),
+        Ds::NMTree => guarded3!(NMTree).or_else(|| match sc.scheme {
+            Scheme::Hpp => Some(run_map::<hpp::NMTree<u64, u64>>(sc)),
+            _ => None,
+        }),
+        Ds::EFRBTree => guarded3!(EFRBTree).or_else(|| match sc.scheme {
+            Scheme::Hp => Some(run_map::<dshp::EFRBTree<u64, u64>>(sc)),
+            Scheme::Hpp => Some(run_map::<hpp::EFRBTree<u64, u64>>(sc)),
+            _ => None,
+        }),
+        Ds::BonsaiTree => guarded3!(BonsaiTree).or_else(|| match sc.scheme {
+            Scheme::Hp => Some(run_map::<dshp::BonsaiTree<u64, u64>>(sc)),
+            Scheme::Hpp => Some(run_map::<hpp::BonsaiTree<u64, u64>>(sc)),
+            _ => None,
+        }),
+    };
+    stats
+}

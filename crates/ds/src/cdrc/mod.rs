@@ -1,0 +1,35 @@
+//! Data structures under CDRC reference counting (the paper's **RC**).
+//!
+//! Traversals read uncounted snapshots under an EBR pin; link mutations
+//! transfer or adjust strong counts, with decrements deferred through EBR.
+//! The paper benchmarks RC on the list-shaped structures (and omits the
+//! trees, whose descriptor cycles need weak references — footnote 12);
+//! we implement the same subset.
+
+mod hhs_list;
+mod hm_list;
+
+pub use hhs_list::HHSList;
+pub use hm_list::HMList;
+
+use cdrc::{Counted, Edges};
+use smr_common::{Atomic, Shared};
+
+/// List node with a counted next link.
+pub(crate) struct Node<K, V> {
+    pub(crate) next: Atomic<Counted<Node<K, V>>>,
+    pub(crate) key: K,
+    pub(crate) value: V,
+}
+
+unsafe impl<K: Send + Sync, V: Send + Sync> Send for Node<K, V> {}
+unsafe impl<K: Send + Sync, V: Send + Sync> Sync for Node<K, V> {}
+
+impl<K, V> Edges for Node<K, V> {
+    fn edges(&self, out: &mut Vec<Shared<Counted<Self>>>) {
+        let next = self.next.load(std::sync::atomic::Ordering::Relaxed).with_tag(0);
+        if !next.is_null() {
+            out.push(next);
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Harris–Michael linked list for guard-based schemes.
+//!
+//! The *careful* traversal (paper §2.2, Fig. 3): logically deleted nodes are
+//! cleaned up one at a time during the search, and the traversal never takes
+//! a step out of a deleted node.
+
+use std::marker::PhantomData;
+use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed};
+
+use smr_common::tagged::TAG_DELETED;
+use smr_common::{Atomic, ConcurrentMap, GuardedScheme, SchemeGuard, Shared};
+
+pub(crate) struct Node<K, V> {
+    pub(crate) next: Atomic<Node<K, V>>,
+    pub(crate) key: K,
+    pub(crate) value: V,
+}
+
+/// A sorted lock-free linked-list map (Michael 2002), guard-based flavor.
+pub struct HMList<K, V, S> {
+    head: Atomic<Node<K, V>>,
+    _marker: PhantomData<S>,
+}
+
+unsafe impl<K: Send + Sync, V: Send + Sync, S> Send for HMList<K, V, S> {}
+unsafe impl<K: Send + Sync, V: Send + Sync, S> Sync for HMList<K, V, S> {}
+
+struct FindResult<K, V> {
+    found: bool,
+    /// The link that held `cur` (head or a protected node's next field).
+    prev: *const Atomic<Node<K, V>>,
+    cur: Shared<Node<K, V>>,
+}
+
+impl<K, V, S> HMList<K, V, S>
+where
+    K: Ord,
+    S: GuardedScheme,
+{
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        Self {
+            head: Atomic::null(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Michael's find: positions on the first node with key ≥ `key`,
+    /// physically deleting any marked node it encounters.
+    fn find(&self, key: &K, guard: &mut S::Guard<'_>) -> FindResult<K, V> {
+        'retry: loop {
+            if !guard.validate() {
+                guard.refresh();
+                continue 'retry;
+            }
+            let mut prev: *const Atomic<Node<K, V>> = &self.head;
+            let mut cur = unsafe { &*prev }.load(Acquire);
+            loop {
+                if !guard.validate() {
+                    guard.refresh();
+                    continue 'retry;
+                }
+                if cur.is_null() {
+                    return FindResult {
+                        found: false,
+                        prev,
+                        cur,
+                    };
+                }
+                let cur_node = unsafe { cur.deref() };
+                let next = cur_node.next.load(Acquire);
+                if next.tag() & TAG_DELETED != 0 {
+                    // cur is logically deleted: try to unlink it here.
+                    let next_clean = next.with_tag(0);
+                    match unsafe { &*prev }.compare_exchange(cur, next_clean, AcqRel, Acquire) {
+                        Ok(_) => {
+                            unsafe { guard.defer_destroy(cur) };
+                            cur = next_clean;
+                            continue;
+                        }
+                        Err(_) => continue 'retry,
+                    }
+                }
+                match cur_node.key.cmp(key) {
+                    std::cmp::Ordering::Less => {
+                        prev = &cur_node.next;
+                        cur = next;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        return FindResult {
+                            found: true,
+                            prev,
+                            cur,
+                        }
+                    }
+                    std::cmp::Ordering::Greater => {
+                        return FindResult {
+                            found: false,
+                            prev,
+                            cur,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    pub(crate) fn get_impl(&self, handle: &mut S::Handle, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        let mut guard = S::pin(handle);
+        let r = self.find(key, &mut guard);
+        if r.found {
+            Some(unsafe { r.cur.deref() }.value.clone())
+        } else {
+            None
+        }
+    }
+
+    pub(crate) fn insert_impl(&self, handle: &mut S::Handle, key: K, value: V) -> bool {
+        let mut guard = S::pin(handle);
+        let mut node = Box::new(Node {
+            next: Atomic::null(),
+            key,
+            value,
+        });
+        loop {
+            let r = self.find(&node.key, &mut guard);
+            if r.found {
+                return false; // node dropped here
+            }
+            node.next.store_mut(r.cur);
+            let new = Shared::from_raw(Box::into_raw(node));
+            match unsafe { &*r.prev }.compare_exchange(r.cur, new, AcqRel, Acquire) {
+                Ok(_) => return true,
+                Err(_) => {
+                    node = unsafe { Box::from_raw(new.as_raw()) };
+                }
+            }
+        }
+    }
+
+    pub(crate) fn remove_impl(&self, handle: &mut S::Handle, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        let mut guard = S::pin(handle);
+        loop {
+            let r = self.find(key, &mut guard);
+            if !r.found {
+                return None;
+            }
+            let cur_node = unsafe { r.cur.deref() };
+            // Logically delete. If someone else marked first, retry.
+            let next = cur_node.next.fetch_or_tag(TAG_DELETED, AcqRel);
+            if next.tag() & TAG_DELETED != 0 {
+                continue;
+            }
+            let value = cur_node.value.clone();
+            // Try the physical deletion; a loser leaves it to later finds.
+            if unsafe { &*r.prev }
+                .compare_exchange(r.cur, next.with_tag(0), AcqRel, Acquire)
+                .is_ok()
+            {
+                unsafe { guard.defer_destroy(r.cur) };
+            }
+            return Some(value);
+        }
+    }
+
+    /// Number of reachable (non-deleted) nodes; not linearizable, test use.
+    pub fn len_approx(&self) -> usize {
+        let mut n = 0;
+        let mut cur = self.head.load(Acquire);
+        while !cur.is_null() {
+            let node = unsafe { cur.with_tag(0).deref() };
+            let next = node.next.load(Acquire);
+            if next.tag() & TAG_DELETED == 0 {
+                n += 1;
+            }
+            cur = next.with_tag(0);
+        }
+        n
+    }
+}
+
+impl<K, V, S> Default for HMList<K, V, S>
+where
+    K: Ord,
+    S: GuardedScheme,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V, S> Drop for HMList<K, V, S> {
+    fn drop(&mut self) {
+        // Exclusive access: free every still-linked node.
+        let mut cur = self.head.load_mut();
+        while !cur.is_null() {
+            let boxed = unsafe { Box::from_raw(cur.with_tag(0).as_raw()) };
+            cur = boxed.next.load(Relaxed).with_tag(0);
+        }
+    }
+}
+
+impl<K, V, S> ConcurrentMap<K, V> for HMList<K, V, S>
+where
+    K: Ord + Send + Sync,
+    V: Clone + Send + Sync,
+    S: GuardedScheme,
+{
+    type Handle = S::Handle;
+
+    fn new() -> Self {
+        HMList::new()
+    }
+
+    fn handle(&self) -> S::Handle {
+        S::handle()
+    }
+
+    fn get(&self, handle: &mut S::Handle, key: &K) -> Option<V> {
+        self.get_impl(handle, key)
+    }
+
+    fn insert(&self, handle: &mut S::Handle, key: K, value: V) -> bool {
+        self.insert_impl(handle, key, value)
+    }
+
+    fn remove(&self, handle: &mut S::Handle, key: &K) -> Option<V> {
+        self.remove_impl(handle, key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_utils;
+
+    #[test]
+    fn sequential_semantics_ebr() {
+        test_utils::check_sequential::<HMList<u64, u64, ebr::Ebr>>();
+    }
+
+    #[test]
+    fn sequential_semantics_nr() {
+        test_utils::check_sequential::<HMList<u64, u64, nr::Nr>>();
+    }
+
+    #[test]
+    fn sequential_semantics_pebr() {
+        test_utils::check_sequential::<HMList<u64, u64, pebr::Pebr>>();
+    }
+
+    #[test]
+    fn concurrent_stress_ebr() {
+        test_utils::check_concurrent::<HMList<u64, u64, ebr::Ebr>>(8, 512);
+    }
+
+    #[test]
+    fn concurrent_stress_pebr() {
+        test_utils::check_concurrent::<HMList<u64, u64, pebr::Pebr>>(8, 512);
+    }
+
+    #[test]
+    fn ordered_and_deduplicated() {
+        let m: HMList<u64, u64, ebr::Ebr> = HMList::new();
+        let mut h = ConcurrentMap::handle(&m);
+        assert!(m.insert(&mut h, 5, 50));
+        assert!(m.insert(&mut h, 1, 10));
+        assert!(m.insert(&mut h, 3, 30));
+        assert!(!m.insert(&mut h, 3, 31), "duplicate key must be rejected");
+        assert_eq!(m.get(&mut h, &3), Some(30));
+        assert_eq!(m.remove(&mut h, &3), Some(30));
+        assert_eq!(m.get(&mut h, &3), None);
+        assert_eq!(m.len_approx(), 2);
+    }
+}

@@ -1,0 +1,383 @@
+//! Herlihy–Shavit lock-free skiplist for guard-based schemes.
+//!
+//! Removal marks the whole tower top-down (logical deletion), traversals
+//! unlink marked nodes per level as they pass, and the thread that won the
+//! bottom-level mark runs one clean `find` pass to fully detach the node
+//! before retiring it.
+
+use std::marker::PhantomData;
+use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed};
+
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use smr_common::tagged::TAG_DELETED;
+use smr_common::{Atomic, ConcurrentMap, GuardedScheme, SchemeGuard, Shared};
+
+/// Maximum tower height; 2^20 expected elements is ample for the paper's
+/// key ranges.
+pub const MAX_HEIGHT: usize = 20;
+
+pub(crate) struct Node<K, V> {
+    pub(crate) next: [Atomic<Node<K, V>>; MAX_HEIGHT],
+    pub(crate) key: K,
+    pub(crate) value: V,
+    pub(crate) height: usize,
+}
+
+impl<K, V> Node<K, V> {
+    fn new(key: K, value: V, height: usize) -> Self {
+        Self {
+            next: [(); MAX_HEIGHT].map(|_| Atomic::null()),
+            key,
+            value,
+            height,
+        }
+    }
+}
+
+fn random_height(rng: &mut SmallRng) -> usize {
+    // Geometric with p = 1/2, clamped to MAX_HEIGHT.
+    let bits: u32 = rng.gen();
+    ((bits.trailing_ones() as usize) + 1).min(MAX_HEIGHT)
+}
+
+/// Lock-free skiplist map, guard-based flavor.
+pub struct SkipList<K, V, S> {
+    head: [Atomic<Node<K, V>>; MAX_HEIGHT],
+    _marker: PhantomData<S>,
+}
+
+unsafe impl<K: Send + Sync, V: Send + Sync, S> Send for SkipList<K, V, S> {}
+unsafe impl<K: Send + Sync, V: Send + Sync, S> Sync for SkipList<K, V, S> {}
+
+struct FindResult<K, V> {
+    found: Option<Shared<Node<K, V>>>,
+    preds: [*const Atomic<Node<K, V>>; MAX_HEIGHT],
+    succs: [Shared<Node<K, V>>; MAX_HEIGHT],
+}
+
+thread_local! {
+    static HEIGHT_RNG: std::cell::RefCell<SmallRng> =
+        std::cell::RefCell::new(SmallRng::from_entropy());
+}
+
+impl<K, V, S> SkipList<K, V, S>
+where
+    K: Ord,
+    S: GuardedScheme,
+{
+    /// Creates an empty skiplist.
+    pub fn new() -> Self {
+        Self {
+            head: [(); MAX_HEIGHT].map(|_| Atomic::null()),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Positions `preds`/`succs` around `key` at every level, unlinking any
+    /// marked node encountered. Restarts wholesale on CAS failure, so a
+    /// completed pass implies the searched key's marked nodes are detached.
+    fn find(&self, key: &K, guard: &mut S::Guard<'_>) -> FindResult<K, V> {
+        'retry: loop {
+            if !guard.validate() {
+                guard.refresh();
+                continue 'retry;
+            }
+            let mut result = FindResult {
+                found: None,
+                preds: [std::ptr::null(); MAX_HEIGHT],
+                succs: [Shared::null(); MAX_HEIGHT],
+            };
+            // The tower of link fields we descend through; initially the
+            // head tower, later a protected node's tower.
+            let mut pred_tower: *const [Atomic<Node<K, V>>; MAX_HEIGHT] = &self.head;
+            let mut level = MAX_HEIGHT;
+            while level > 0 {
+                level -= 1;
+                let mut cur = unsafe { &(*pred_tower)[level] }.load(Acquire).with_tag(0);
+                loop {
+                    if !guard.validate() {
+                        guard.refresh();
+                        continue 'retry;
+                    }
+                    if cur.is_null() {
+                        break;
+                    }
+                    let node = unsafe { cur.deref() };
+                    let next = node.next[level].load(Acquire);
+                    if next.tag() & TAG_DELETED != 0 {
+                        // Unlink the marked node at this level.
+                        let next_clean = next.with_tag(0);
+                        match unsafe { &(*pred_tower)[level] }.compare_exchange(
+                            cur,
+                            next_clean,
+                            AcqRel,
+                            Acquire,
+                        ) {
+                            Ok(_) => {
+                                cur = next_clean;
+                                continue;
+                            }
+                            Err(_) => continue 'retry,
+                        }
+                    }
+                    if node.key < *key {
+                        pred_tower = &node.next;
+                        cur = next.with_tag(0);
+                    } else {
+                        break;
+                    }
+                }
+                result.preds[level] = unsafe { &(*pred_tower)[level] };
+                result.succs[level] = cur;
+            }
+            let bottom = result.succs[0];
+            if !bottom.is_null() && unsafe { bottom.deref() }.key == *key {
+                result.found = Some(bottom);
+            }
+            return result;
+        }
+    }
+
+    pub(crate) fn get_impl(&self, handle: &mut S::Handle, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        // Optimistic search: never unlinks, walks through marked nodes
+        // (wait-free for NR/EBR, lock-free for PEBR).
+        let mut guard = S::pin(handle);
+        'retry: loop {
+            if !guard.validate() {
+                guard.refresh();
+                continue 'retry;
+            }
+            let mut pred_tower: *const [Atomic<Node<K, V>>; MAX_HEIGHT] = &self.head;
+            let mut level = MAX_HEIGHT;
+            while level > 0 {
+                level -= 1;
+                let mut cur = unsafe { &(*pred_tower)[level] }.load(Acquire).with_tag(0);
+                loop {
+                    if !guard.validate() {
+                        guard.refresh();
+                        continue 'retry;
+                    }
+                    if cur.is_null() {
+                        break;
+                    }
+                    let node = unsafe { cur.deref() };
+                    let next = node.next[level].load(Acquire);
+                    match node.key.cmp(key) {
+                        std::cmp::Ordering::Less => {
+                            pred_tower = &node.next;
+                            cur = next.with_tag(0);
+                        }
+                        std::cmp::Ordering::Equal => {
+                            return if next.tag() & TAG_DELETED == 0 {
+                                Some(node.value.clone())
+                            } else {
+                                None
+                            };
+                        }
+                        std::cmp::Ordering::Greater => break,
+                    }
+                }
+            }
+            return None;
+        }
+    }
+
+    pub(crate) fn insert_impl(&self, handle: &mut S::Handle, key: K, value: V) -> bool {
+        let mut guard = S::pin(handle);
+        let height = HEIGHT_RNG.with(|r| random_height(&mut r.borrow_mut()));
+        let node = Box::into_raw(Box::new(Node::new(key, value, height)));
+        let node_shared = Shared::from_raw(node);
+        let node_ref = unsafe { &*node };
+
+        loop {
+            let r = self.find(&node_ref.key, &mut guard);
+            if r.found.is_some() {
+                drop(unsafe { Box::from_raw(node) });
+                return false;
+            }
+            // Wire the tower to the current successors, then link level 0.
+            for (level, succ) in r.succs.iter().enumerate().take(height) {
+                node_ref.next[level].store(*succ, Relaxed);
+            }
+            match unsafe { &*r.preds[0] }.compare_exchange(
+                r.succs[0],
+                node_shared,
+                AcqRel,
+                Acquire,
+            ) {
+                Ok(_) => break,
+                Err(_) => continue,
+            }
+        }
+
+        // Link the upper levels; on contention re-find.
+        'levels: for level in 1..height {
+            loop {
+                let next = node_ref.next[level].load(Acquire);
+                if next.tag() & TAG_DELETED != 0 {
+                    break 'levels; // being removed already; stop building
+                }
+                let r = self.find(&node_ref.key, &mut guard);
+                // The node may have been removed and even unlinked already.
+                match r.found {
+                    Some(f) if f == node_shared => {}
+                    _ => break 'levels,
+                }
+                if r.succs[level] != next {
+                    match node_ref.next[level].compare_exchange(
+                        next,
+                        r.succs[level],
+                        AcqRel,
+                        Acquire,
+                    ) {
+                        Ok(_) => {}
+                        Err(_) => break 'levels, // marked meanwhile
+                    }
+                }
+                if unsafe { &*r.preds[level] }
+                    .compare_exchange(r.succs[level], node_shared, AcqRel, Acquire)
+                    .is_ok()
+                {
+                    continue 'levels;
+                }
+            }
+        }
+        true
+    }
+
+    pub(crate) fn remove_impl(&self, handle: &mut S::Handle, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        let mut guard = S::pin(handle);
+        loop {
+            let r = self.find(key, &mut guard);
+            let target = r.found?;
+            let node = unsafe { target.deref() };
+            // Mark the tower top-down; winning the bottom level designates
+            // this thread as the deleter.
+            for level in (1..node.height).rev() {
+                node.next[level].fetch_or_tag(TAG_DELETED, AcqRel);
+            }
+            let prev = node.next[0].fetch_or_tag(TAG_DELETED, AcqRel);
+            if prev.tag() & TAG_DELETED != 0 {
+                continue; // someone else won; re-find (they will retire it)
+            }
+            let value = node.value.clone();
+            // One clean pass fully detaches the node; then it is safe to
+            // retire (no live link can reintroduce it — see module docs).
+            let _ = self.find(key, &mut guard);
+            unsafe { guard.defer_destroy(target) };
+            return Some(value);
+        }
+    }
+}
+
+impl<K, V, S> Default for SkipList<K, V, S>
+where
+    K: Ord,
+    S: GuardedScheme,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V, S> Drop for SkipList<K, V, S> {
+    fn drop(&mut self) {
+        // Walk the bottom level; every node is linked there.
+        let mut cur = self.head[0].load_mut();
+        while !cur.is_null() {
+            let boxed = unsafe { Box::from_raw(cur.with_tag(0).as_raw()) };
+            cur = boxed.next[0].load(Relaxed).with_tag(0);
+        }
+    }
+}
+
+impl<K, V, S> ConcurrentMap<K, V> for SkipList<K, V, S>
+where
+    K: Ord + Send + Sync,
+    V: Clone + Send + Sync,
+    S: GuardedScheme,
+{
+    type Handle = S::Handle;
+
+    fn new() -> Self {
+        SkipList::new()
+    }
+
+    fn handle(&self) -> S::Handle {
+        S::handle()
+    }
+
+    fn get(&self, handle: &mut S::Handle, key: &K) -> Option<V> {
+        self.get_impl(handle, key)
+    }
+
+    fn insert(&self, handle: &mut S::Handle, key: K, value: V) -> bool {
+        self.insert_impl(handle, key, value)
+    }
+
+    fn remove(&self, handle: &mut S::Handle, key: &K) -> Option<V> {
+        self.remove_impl(handle, key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_utils;
+
+    #[test]
+    fn sequential_semantics_ebr() {
+        test_utils::check_sequential::<SkipList<u64, u64, ebr::Ebr>>();
+    }
+
+    #[test]
+    fn sequential_semantics_nr() {
+        test_utils::check_sequential::<SkipList<u64, u64, nr::Nr>>();
+    }
+
+    #[test]
+    fn concurrent_stress_ebr() {
+        test_utils::check_concurrent::<SkipList<u64, u64, ebr::Ebr>>(8, 1024);
+    }
+
+    #[test]
+    fn concurrent_stress_pebr() {
+        test_utils::check_concurrent::<SkipList<u64, u64, pebr::Pebr>>(8, 512);
+    }
+
+    #[test]
+    fn striped_ebr() {
+        test_utils::check_striped::<SkipList<u64, u64, ebr::Ebr>>(4, 256);
+    }
+
+    #[test]
+    fn towers_span_levels() {
+        // With enough inserts some towers exceed level 1, exercising the
+        // upper-level linking paths.
+        let m: SkipList<u64, u64, ebr::Ebr> = SkipList::new();
+        let mut h = ConcurrentMap::handle(&m);
+        for k in 0..2000 {
+            assert!(ConcurrentMap::insert(&m, &mut h, k, k));
+        }
+        let mut levels_used = 0;
+        for level in 0..MAX_HEIGHT {
+            if !m.head[level].load(Acquire).is_null() {
+                levels_used = level + 1;
+            }
+        }
+        assert!(levels_used >= 5, "expected tall towers, got {levels_used}");
+        for k in (0..2000).step_by(3) {
+            assert_eq!(ConcurrentMap::remove(&m, &mut h, &k), Some(k));
+        }
+        for k in 0..2000 {
+            let expected = if k % 3 == 0 { None } else { Some(k) };
+            assert_eq!(ConcurrentMap::get(&m, &mut h, &k), expected);
+        }
+    }
+}

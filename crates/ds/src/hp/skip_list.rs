@@ -1,0 +1,338 @@
+//! Herlihy–Shavit skiplist with hazard-pointer protection.
+//!
+//! Careful traversal at every level: each step announces a hazard pointer
+//! and validates it against the predecessor's link, restarting on any
+//! change (the paper's "restarting get" — HP cannot skip marked nodes).
+//! Written over [`HpFamily`] so both HP and HP++ (hybrid mode, §4.2)
+//! instantiate it.
+
+use std::marker::PhantomData;
+use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed};
+
+use hp::HazardPointer;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use smr_common::tagged::TAG_DELETED;
+use smr_common::{Atomic, ConcurrentMap, Shared};
+
+use crate::hp_family::HpFamily;
+
+pub use crate::guarded::MAX_HEIGHT;
+
+pub(crate) struct Node<K, V> {
+    next: [Atomic<Node<K, V>>; MAX_HEIGHT],
+    key: K,
+    value: V,
+    height: usize,
+}
+
+fn random_height(rng: &mut SmallRng) -> usize {
+    let bits: u32 = rng.gen();
+    ((bits.trailing_ones() as usize) + 1).min(MAX_HEIGHT)
+}
+
+thread_local! {
+    static HEIGHT_RNG: std::cell::RefCell<SmallRng> =
+        std::cell::RefCell::new(SmallRng::from_entropy());
+}
+
+/// Per-thread state: the scheme thread plus per-level pred/succ hazard
+/// pointers and one slot for a node being inserted.
+pub struct Handle<T: HpFamily> {
+    thread: T,
+    hp_preds: Vec<HazardPointer>,
+    hp_succs: Vec<HazardPointer>,
+    hp_new: HazardPointer,
+}
+
+impl<T: HpFamily> Handle<T> {
+    fn new() -> Self {
+        let mut thread = T::register();
+        let hp_preds = (0..MAX_HEIGHT).map(|_| thread.hazard_pointer()).collect();
+        let hp_succs = (0..MAX_HEIGHT).map(|_| thread.hazard_pointer()).collect();
+        let hp_new = thread.hazard_pointer();
+        Self {
+            thread,
+            hp_preds,
+            hp_succs,
+            hp_new,
+        }
+    }
+}
+
+/// Lock-free skiplist protected by hazard pointers.
+pub struct SkipList<K, V, T> {
+    head: [Atomic<Node<K, V>>; MAX_HEIGHT],
+    _marker: PhantomData<T>,
+}
+
+unsafe impl<K: Send + Sync, V: Send + Sync, T> Send for SkipList<K, V, T> {}
+unsafe impl<K: Send + Sync, V: Send + Sync, T> Sync for SkipList<K, V, T> {}
+
+struct FindResult<K, V> {
+    found: Option<Shared<Node<K, V>>>,
+    preds: [*const Atomic<Node<K, V>>; MAX_HEIGHT],
+    succs: [Shared<Node<K, V>>; MAX_HEIGHT],
+}
+
+impl<K, V, T> SkipList<K, V, T>
+where
+    K: Ord,
+    T: HpFamily,
+{
+    /// Creates an empty skiplist.
+    pub fn new() -> Self {
+        Self {
+            head: [(); MAX_HEIGHT].map(|_| Atomic::null()),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Careful multi-level find. Every protection is validated against the
+    /// predecessor's link; any mismatch restarts the whole search.
+    fn find(&self, key: &K, handle: &mut Handle<T>) -> FindResult<K, V> {
+        'retry: loop {
+            let mut result = FindResult {
+                found: None,
+                preds: [std::ptr::null(); MAX_HEIGHT],
+                succs: [Shared::null(); MAX_HEIGHT],
+            };
+            let mut pred_tower: *const [Atomic<Node<K, V>>; MAX_HEIGHT] = &self.head;
+            let mut pred_node: Shared<Node<K, V>> = Shared::null();
+            let mut level = MAX_HEIGHT;
+            while level > 0 {
+                level -= 1;
+                // The pred is either head or a node protected at the level
+                // above; duplicate the protection into this level's slot
+                // (announcing an already-protected pointer needs no
+                // validation).
+                if !pred_node.is_null() {
+                    handle.hp_preds[level].protect_raw(pred_node.as_raw());
+                }
+                let mut cur = unsafe { &(*pred_tower)[level] }.load(Acquire);
+                loop {
+                    if cur.is_null() {
+                        break;
+                    }
+                    // Validate: pred's link must still hold exactly cur.
+                    if handle.hp_succs[level]
+                        .try_protect(cur.with_tag(0), unsafe { &(*pred_tower)[level] })
+                        .is_err()
+                    {
+                        continue 'retry;
+                    }
+                    let node = unsafe { cur.deref() };
+                    let next = node.next[level].load(Acquire);
+                    if next.tag() & TAG_DELETED != 0 {
+                        let next_clean = next.with_tag(0);
+                        match unsafe { &(*pred_tower)[level] }.compare_exchange(
+                            cur,
+                            next_clean,
+                            AcqRel,
+                            Acquire,
+                        ) {
+                            Ok(_) => {
+                                cur = next_clean;
+                                continue;
+                            }
+                            Err(_) => continue 'retry,
+                        }
+                    }
+                    if node.key < *key {
+                        pred_tower = &node.next;
+                        pred_node = cur;
+                        HazardPointer::swap(
+                            &mut handle.hp_preds[level],
+                            &mut handle.hp_succs[level],
+                        );
+                        cur = next.with_tag(0);
+                    } else {
+                        break;
+                    }
+                }
+                result.preds[level] = unsafe { &(*pred_tower)[level] };
+                result.succs[level] = cur;
+            }
+            let bottom = result.succs[0];
+            if !bottom.is_null() && unsafe { bottom.deref() }.key == *key {
+                result.found = Some(bottom);
+            }
+            return result;
+        }
+    }
+
+    pub(crate) fn get_impl(&self, handle: &mut Handle<T>, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        let r = self.find(key, handle);
+        r.found.map(|f| unsafe { f.deref() }.value.clone())
+    }
+
+    pub(crate) fn insert_impl(&self, handle: &mut Handle<T>, key: K, value: V) -> bool {
+        let height = HEIGHT_RNG.with(|r| random_height(&mut r.borrow_mut()));
+        let node = Box::into_raw(Box::new(Node {
+            next: [(); MAX_HEIGHT].map(|_| Atomic::null()),
+            key,
+            value,
+            height,
+        }));
+        let node_shared = Shared::from_raw(node);
+        let node_ref = unsafe { &*node };
+        // Protect our own node before it becomes shared: once level 0 links,
+        // a concurrent remove may retire it while we build the tower.
+        handle.hp_new.protect_raw(node);
+
+        loop {
+            let r = self.find(&node_ref.key, handle);
+            if r.found.is_some() {
+                handle.hp_new.reset();
+                drop(unsafe { Box::from_raw(node) });
+                return false;
+            }
+            for (level, succ) in r.succs.iter().enumerate().take(height) {
+                node_ref.next[level].store(*succ, Relaxed);
+            }
+            match unsafe { &*r.preds[0] }.compare_exchange(
+                r.succs[0],
+                node_shared,
+                AcqRel,
+                Acquire,
+            ) {
+                Ok(_) => break,
+                Err(_) => continue,
+            }
+        }
+
+        'levels: for level in 1..height {
+            loop {
+                let next = node_ref.next[level].load(Acquire);
+                if next.tag() & TAG_DELETED != 0 {
+                    break 'levels;
+                }
+                let r = self.find(&node_ref.key, handle);
+                match r.found {
+                    Some(f) if f == node_shared => {}
+                    _ => break 'levels,
+                }
+                if r.succs[level] != next
+                    && node_ref.next[level]
+                        .compare_exchange(next, r.succs[level], AcqRel, Acquire)
+                        .is_err()
+                {
+                    break 'levels;
+                }
+                if unsafe { &*r.preds[level] }
+                    .compare_exchange(r.succs[level], node_shared, AcqRel, Acquire)
+                    .is_ok()
+                {
+                    continue 'levels;
+                }
+            }
+        }
+        handle.hp_new.reset();
+        true
+    }
+
+    pub(crate) fn remove_impl(&self, handle: &mut Handle<T>, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        loop {
+            let r = self.find(key, handle);
+            let target = r.found?;
+            // target is protected by hp_succs[0] (validated by find).
+            let node = unsafe { target.deref() };
+            for level in (1..node.height).rev() {
+                node.next[level].fetch_or_tag(TAG_DELETED, AcqRel);
+            }
+            let prev = node.next[0].fetch_or_tag(TAG_DELETED, AcqRel);
+            if prev.tag() & TAG_DELETED != 0 {
+                continue;
+            }
+            let value = node.value.clone();
+            // Clean pass fully detaches; then retire.
+            let _ = self.find(key, handle);
+            unsafe { handle.thread.retire(target.as_raw()) };
+            return Some(value);
+        }
+    }
+}
+
+impl<K: Ord, V, T: HpFamily> Default for SkipList<K, V, T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V, T> Drop for SkipList<K, V, T> {
+    fn drop(&mut self) {
+        let mut cur = self.head[0].load_mut();
+        while !cur.is_null() {
+            let boxed = unsafe { Box::from_raw(cur.with_tag(0).as_raw()) };
+            cur = boxed.next[0].load(Relaxed).with_tag(0);
+        }
+    }
+}
+
+impl<K, V, T> ConcurrentMap<K, V> for SkipList<K, V, T>
+where
+    K: Ord + Send + Sync,
+    V: Clone + Send + Sync,
+    T: HpFamily,
+{
+    type Handle = Handle<T>;
+
+    fn new() -> Self {
+        SkipList::new()
+    }
+
+    fn handle(&self) -> Handle<T> {
+        Handle::new()
+    }
+
+    fn get(&self, handle: &mut Handle<T>, key: &K) -> Option<V> {
+        self.get_impl(handle, key)
+    }
+
+    fn insert(&self, handle: &mut Handle<T>, key: K, value: V) -> bool {
+        self.insert_impl(handle, key, value)
+    }
+
+    fn remove(&self, handle: &mut Handle<T>, key: &K) -> Option<V> {
+        self.remove_impl(handle, key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_utils;
+
+    type HpSkipList = SkipList<u64, u64, hp::Thread>;
+    type HppSkipList = SkipList<u64, u64, hp_plus::Thread>;
+
+    #[test]
+    fn sequential_semantics_hp() {
+        test_utils::check_sequential::<HpSkipList>();
+    }
+
+    #[test]
+    fn sequential_semantics_hpp_hybrid() {
+        test_utils::check_sequential::<HppSkipList>();
+    }
+
+    #[test]
+    fn concurrent_stress_hp() {
+        test_utils::check_concurrent::<HpSkipList>(8, 512);
+    }
+
+    #[test]
+    fn concurrent_stress_hpp_hybrid() {
+        test_utils::check_concurrent::<HppSkipList>(8, 512);
+    }
+
+    #[test]
+    fn striped_hp() {
+        test_utils::check_striped::<HpSkipList>(4, 128);
+    }
+}

@@ -1,0 +1,139 @@
+//! Shared test batteries for every `ConcurrentMap` implementation.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, Ordering::Relaxed};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use smr_common::ConcurrentMap;
+
+/// Random single-threaded trace cross-checked against a `BTreeMap`.
+pub fn check_sequential<M: ConcurrentMap<u64, u64>>() {
+    let m = M::new();
+    let mut h = m.handle();
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+
+    for i in 0..4000u64 {
+        let key = rng.gen_range(0..64);
+        match rng.gen_range(0..3) {
+            0 => {
+                let expected = !model.contains_key(&key);
+                let got = m.insert(&mut h, key, i);
+                assert_eq!(got, expected, "insert({key}) mismatch at step {i}");
+                if expected {
+                    model.insert(key, i);
+                }
+            }
+            1 => {
+                let expected = model.remove(&key);
+                let got = m.remove(&mut h, &key);
+                assert_eq!(got, expected, "remove({key}) mismatch at step {i}");
+            }
+            _ => {
+                let expected = model.get(&key).copied();
+                let got = m.get(&mut h, &key);
+                assert_eq!(got, expected, "get({key}) mismatch at step {i}");
+            }
+        }
+    }
+    // Final sweep.
+    for key in 0..64 {
+        assert_eq!(m.get(&mut h, &key), model.get(&key).copied());
+    }
+}
+
+/// Multi-threaded stress with per-key accounting.
+///
+/// Threads hammer a small key range with random inserts/removes/gets. Every
+/// successful insert/remove updates a per-key net counter; when the dust
+/// settles, each key's net count must be 0 or 1 and must match the final
+/// map contents — any lost update, double free observable as a wrong value,
+/// or resurrected node breaks the balance.
+pub fn check_concurrent<M>(threads: usize, ops_per_thread: usize)
+where
+    M: ConcurrentMap<u64, u64> + Send + Sync,
+{
+    const KEYS: usize = 64;
+    let m = M::new();
+    let net: Vec<AtomicI64> = (0..KEYS).map(|_| AtomicI64::new(0)).collect();
+
+    std::thread::scope(|s| {
+        for tid in 0..threads {
+            let m = &m;
+            let net = &net;
+            s.spawn(move || {
+                let mut h = m.handle();
+                let mut rng = SmallRng::seed_from_u64(tid as u64);
+                for i in 0..ops_per_thread {
+                    let key = rng.gen_range(0..KEYS as u64);
+                    match rng.gen_range(0..3) {
+                        0 => {
+                            // Value encodes the key so torn reads are visible.
+                            if m.insert(&mut h, key, key * 1000) {
+                                net[key as usize].fetch_add(1, Relaxed);
+                            }
+                        }
+                        1 => {
+                            if let Some(v) = m.remove(&mut h, &key) {
+                                assert_eq!(v, key * 1000, "corrupt value for {key}");
+                                net[key as usize].fetch_sub(1, Relaxed);
+                            }
+                        }
+                        _ => {
+                            if let Some(v) = m.get(&mut h, &key) {
+                                assert_eq!(v, key * 1000, "corrupt value for {key}");
+                            }
+                        }
+                    }
+                    let _ = i;
+                }
+            });
+        }
+    });
+
+    let mut h = m.handle();
+    for key in 0..KEYS as u64 {
+        let n = net[key as usize].load(Relaxed);
+        assert!(
+            n == 0 || n == 1,
+            "key {key}: net insert count {n} out of range"
+        );
+        let present = m.get(&mut h, &key).is_some();
+        assert_eq!(
+            present,
+            n == 1,
+            "key {key}: presence {present} disagrees with net count {n}"
+        );
+    }
+}
+
+/// Heavier mixed workload used by a few spot tests: disjoint stripes per
+/// thread, so the final contents are exactly predictable.
+pub fn check_striped<M>(threads: usize, keys_per_thread: u64)
+where
+    M: ConcurrentMap<u64, u64> + Send + Sync,
+{
+    let m = M::new();
+    std::thread::scope(|s| {
+        for tid in 0..threads as u64 {
+            let m = &m;
+            s.spawn(move || {
+                let mut h = m.handle();
+                let base = tid * keys_per_thread;
+                // Insert everything, remove odd keys, re-check.
+                for k in base..base + keys_per_thread {
+                    assert!(m.insert(&mut h, k, k + 7));
+                }
+                for k in (base..base + keys_per_thread).filter(|k| k % 2 == 1) {
+                    assert_eq!(m.remove(&mut h, &k), Some(k + 7));
+                }
+                for k in base..base + keys_per_thread {
+                    let expected = if k % 2 == 0 { Some(k + 7) } else { None };
+                    assert_eq!(m.get(&mut h, &k), expected, "stripe check key {k}");
+                }
+            });
+        }
+    });
+}

@@ -1,0 +1,192 @@
+//! The global epoch state and per-thread registration.
+
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use smr_common::{CachePadded, Retired};
+
+use crate::guard::Guard;
+
+/// Retire this many blocks before attempting a collection.
+pub(crate) const COLLECT_THRESHOLD: usize = 128;
+
+/// Per-participant epoch state. `state` packs `(epoch << 1) | pinned`.
+pub(crate) struct Participant {
+    pub(crate) state: CachePadded<AtomicU64>,
+    pub(crate) dead: AtomicBool,
+}
+
+impl Participant {
+    fn new() -> Self {
+        Self {
+            state: CachePadded::new(AtomicU64::new(0)),
+            dead: AtomicBool::new(false),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn pinned_epoch(state: u64) -> Option<u64> {
+        if state & 1 == 1 {
+            Some(state >> 1)
+        } else {
+            None
+        }
+    }
+}
+
+/// The global side of an EBR instance.
+pub struct Collector {
+    pub(crate) epoch: CachePadded<AtomicU64>,
+    pub(crate) participants: Mutex<Vec<Arc<Participant>>>,
+    /// Garbage abandoned by exited threads, adopted by later collections.
+    pub(crate) orphans: Mutex<Vec<(u64, Retired)>>,
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Collector {
+    /// Creates an independent collector (tests use private instances; real
+    /// users normally share [`crate::default_collector`]).
+    pub fn new() -> Self {
+        Self {
+            epoch: CachePadded::new(AtomicU64::new(0)),
+            participants: Mutex::new(Vec::new()),
+            orphans: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Registers the current thread, returning its local handle.
+    pub fn register(&self) -> LocalHandle {
+        let record = Arc::new(Participant::new());
+        self.participants.lock().push(record.clone());
+        LocalHandle {
+            global: unsafe { &*(self as *const Collector) },
+            record,
+            garbage: Vec::new(),
+            guard_live: false,
+        }
+    }
+
+    /// Current global epoch (for diagnostics and tests).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Tries to advance the global epoch; returns the epoch afterwards.
+    ///
+    /// Advance succeeds only if every live pinned participant has observed
+    /// the current epoch.
+    pub(crate) fn try_advance(&self) -> u64 {
+        let e = self.epoch.load(Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        {
+            let mut parts = self.participants.lock();
+            parts.retain(|p| !p.dead.load(Ordering::Acquire));
+            for p in parts.iter() {
+                let s = p.state.load(Ordering::Relaxed);
+                if let Some(pe) = Participant::pinned_epoch(s) {
+                    if pe != e {
+                        return e; // a straggler blocks the advance
+                    }
+                }
+            }
+        }
+        fence(Ordering::SeqCst);
+        let _ = self
+            .epoch
+            .compare_exchange(e, e + 1, Ordering::Release, Ordering::Relaxed);
+        self.epoch.load(Ordering::Relaxed)
+    }
+}
+
+// The collector outlives all handles in practice (the default collector is
+// 'static; test collectors are dropped after their handles). Registration
+// hands out a 'static reference internally; `LocalHandle` is documented to
+// not outlive its collector.
+unsafe impl Send for Collector {}
+unsafe impl Sync for Collector {}
+
+/// A thread's registration with a [`Collector`].
+///
+/// Not `Sync`: one handle per thread. Dropping the handle unregisters the
+/// thread and donates any unreclaimed garbage to the collector's orphan list.
+pub struct LocalHandle {
+    pub(crate) global: &'static Collector,
+    pub(crate) record: Arc<Participant>,
+    /// Epoch-stamped local garbage.
+    pub(crate) garbage: Vec<(u64, Retired)>,
+    pub(crate) guard_live: bool,
+}
+
+unsafe impl Send for LocalHandle {}
+
+impl LocalHandle {
+    /// Pins the thread, entering a critical section.
+    pub fn pin(&mut self) -> Guard<'_> {
+        assert!(!self.guard_live, "EBR guards must not be nested");
+        self.pin_slow();
+        self.guard_live = true;
+        Guard::new(self)
+    }
+
+    #[inline]
+    pub(crate) fn pin_slow(&self) {
+        let mut e = self.global.epoch.load(Ordering::Relaxed);
+        loop {
+            self.record.state.store((e << 1) | 1, Ordering::Relaxed);
+            fence(Ordering::SeqCst);
+            let e2 = self.global.epoch.load(Ordering::Relaxed);
+            if e == e2 {
+                break;
+            }
+            e = e2;
+        }
+    }
+
+    #[inline]
+    pub(crate) fn unpin_slow(&self) {
+        self.record.state.store(0, Ordering::Release);
+    }
+
+    /// Number of blocks this thread has retired but not yet freed.
+    pub fn local_garbage(&self) -> usize {
+        self.garbage.len()
+    }
+
+    /// Attempts an epoch advance and frees everything eligible.
+    pub(crate) fn collect(&mut self) {
+        // Adopt orphans first so exited threads' garbage is not stranded.
+        if let Some(mut orphans) = self.global.orphans.try_lock() {
+            self.garbage.append(&mut orphans);
+        }
+        let global_epoch = self.global.try_advance();
+        self.flush_eligible(global_epoch);
+    }
+
+    fn flush_eligible(&mut self, global_epoch: u64) {
+        let mut i = 0;
+        while i < self.garbage.len() {
+            if self.garbage[i].0 + 2 <= global_epoch {
+                let (_, retired) = self.garbage.swap_remove(i);
+                unsafe { retired.free() };
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+impl Drop for LocalHandle {
+    fn drop(&mut self) {
+        self.record.dead.store(true, Ordering::Release);
+        if !self.garbage.is_empty() {
+            let mut orphans = self.global.orphans.lock();
+            orphans.append(&mut self.garbage);
+        }
+    }
+}

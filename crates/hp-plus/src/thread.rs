@@ -1,0 +1,234 @@
+//! Per-thread HP++ state: unlink batches, epoched hazard pointers,
+//! deferred invalidation, reclamation (Algorithms 3 and 5).
+
+use hp::HazardPointer;
+use smr_common::{counters, Retired, Shared};
+
+use crate::domain::Domain;
+use crate::{periods, Invalidate};
+
+/// A batch of nodes unlinked together by one `try_unlink`, awaiting
+/// invalidation, together with the frontier protections taken for them.
+struct UnlinkBatch {
+    nodes: Vec<Retired>,
+    invalidate: unsafe fn(*mut u8),
+    frontier_hps: Vec<HazardPointer>,
+}
+
+/// The nodes detached by a successful unlink operation.
+///
+/// Returned by the `do_unlink` closure of [`Thread::try_unlink`]. The
+/// single-node case (every remove in HMList-style structures) is
+/// allocation-free.
+pub enum Unlinked<T> {
+    /// One detached node.
+    Single(Shared<T>),
+    /// A detached chain.
+    Chain(Vec<Shared<T>>),
+}
+
+impl<T> Unlinked<T> {
+    /// Wraps the chain of nodes the unlink CAS detached.
+    pub fn new(nodes: Vec<Shared<T>>) -> Self {
+        Self::Chain(nodes)
+    }
+
+    /// A single detached node.
+    pub fn single(node: Shared<T>) -> Self {
+        Self::Single(node)
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Self::Single(_) => 1,
+            Self::Chain(v) => v.len(),
+        }
+    }
+
+    fn for_each(&self, mut f: impl FnMut(Shared<T>)) {
+        match self {
+            Self::Single(s) => f(*s),
+            Self::Chain(v) => v.iter().copied().for_each(f),
+        }
+    }
+}
+
+unsafe fn invalidate_erased<T: Invalidate>(ptr: *mut u8) {
+    unsafe { T::invalidate(ptr.cast::<T>()) }
+}
+
+/// A thread's registration with an HP++ [`Domain`].
+pub struct Thread {
+    inner: hp::Thread,
+    domain: &'static Domain,
+    /// Algorithm 3's thread-local `unlinkeds`.
+    unlinkeds: Vec<UnlinkBatch>,
+    /// Algorithm 5's `epoched_hps`: frontier protections awaiting a safe
+    /// (fence-separated) revocation.
+    epoched_hps: Vec<(u64, HazardPointer)>,
+    unlink_count: usize,
+    /// Buffer pools: `try_unlink` runs on every physical deletion, so its
+    /// per-batch vectors are recycled instead of reallocated.
+    spare_retired_vecs: Vec<Vec<Retired>>,
+    spare_hp_vecs: Vec<Vec<HazardPointer>>,
+}
+
+impl Thread {
+    pub(crate) fn new(domain: &'static Domain) -> Self {
+        Self {
+            inner: domain.hp_domain().register(),
+            domain,
+            unlinkeds: Vec::new(),
+            epoched_hps: Vec::new(),
+            unlink_count: 0,
+            spare_retired_vecs: Vec::new(),
+            spare_hp_vecs: Vec::new(),
+        }
+    }
+
+    /// The domain this thread belongs to.
+    pub fn domain(&self) -> &'static Domain {
+        self.domain
+    }
+
+    /// Acquires a hazard pointer (cached slot if available).
+    pub fn hazard_pointer(&mut self) -> HazardPointer {
+        self.inner.hazard_pointer()
+    }
+
+    /// Returns a hazard pointer's slot to this thread's cache.
+    pub fn recycle(&mut self, hp: HazardPointer) {
+        self.inner.recycle(hp);
+    }
+
+    /// Plain HP retirement (hybrid use, §4.2): for nodes protected with the
+    /// original over-approximating validation, no invalidation is needed.
+    ///
+    /// # Safety
+    /// Same contract as [`hp::Thread::retire`].
+    pub unsafe fn retire<T>(&mut self, ptr: *mut T) {
+        self.inner.retire(ptr);
+    }
+
+    /// Algorithm 3's `TryUnlink`.
+    ///
+    /// 1. Protects every pointer in `frontier` (no validation needed — the
+    ///    caller guarantees the frontier was decided before the unlink and
+    ///    cannot change, Assumption 1).
+    /// 2. Runs `do_unlink` (typically one CAS detaching a chain).
+    /// 3. On success, schedules the detached nodes for deferred invalidation
+    ///    and eventual reclamation; on failure, revokes the frontier
+    ///    protections immediately.
+    ///
+    /// Returns whether the unlink succeeded.
+    ///
+    /// # Safety
+    /// * `frontier` must contain every node reachable by one link from the
+    ///   nodes `do_unlink` detaches that is not itself detached.
+    /// * The detached nodes must be `Box`-allocated, detached exactly once,
+    ///   with immutable links from before the unlink (Assumption 1).
+    pub unsafe fn try_unlink<T: Invalidate>(
+        &mut self,
+        frontier: &[Shared<T>],
+        do_unlink: impl FnOnce() -> Option<Unlinked<T>>,
+    ) -> bool {
+        let mut hps = self.spare_hp_vecs.pop().unwrap_or_default();
+        for f in frontier {
+            let hp = self.hazard_pointer();
+            hp.protect_raw(f.as_raw());
+            hps.push(hp);
+        }
+
+        match do_unlink() {
+            Some(unlinked) => {
+                counters::incr_garbage(unlinked.len() as u64);
+                let mut nodes = self.spare_retired_vecs.pop().unwrap_or_default();
+                unlinked.for_each(|s| nodes.push(unsafe { Retired::new(s.as_raw()) }));
+                self.unlinkeds.push(UnlinkBatch {
+                    nodes,
+                    invalidate: invalidate_erased::<T>,
+                    frontier_hps: hps,
+                });
+                self.unlink_count += 1;
+                let (invalidate_period, reclaim_period) = periods();
+                if self.unlink_count % reclaim_period == 0 {
+                    self.reclaim();
+                } else if self.unlink_count % invalidate_period == 0 {
+                    self.do_invalidation();
+                }
+                true
+            }
+            None => {
+                for hp in hps.drain(..) {
+                    self.recycle(hp);
+                }
+                self.spare_hp_vecs.push(hps);
+                false
+            }
+        }
+    }
+
+    /// Algorithm 5's `DoInvalidation`: flushes pending unlink batches by
+    /// invalidating their nodes, then parks the batches' frontier
+    /// protections in `epoched_hps`, stamped with the current fence epoch.
+    /// Protections two epochs old are revoked for free — a heavy fence has
+    /// provably passed between (Lemma A.2).
+    pub fn do_invalidation(&mut self) {
+        let batches = std::mem::take(&mut self.unlinkeds);
+        let mut fresh_hps = Vec::new();
+        for mut batch in batches {
+            for node in &batch.nodes {
+                unsafe { (batch.invalidate)(node.ptr()) };
+            }
+            fresh_hps.append(&mut batch.frontier_hps);
+            self.spare_hp_vecs.push(batch.frontier_hps);
+            for node in batch.nodes.drain(..) {
+                self.inner.push_retired(node);
+            }
+            self.spare_retired_vecs.push(batch.nodes);
+        }
+
+        let epoch = self.domain.read_epoch();
+        let mut kept = Vec::with_capacity(self.epoched_hps.len() + fresh_hps.len());
+        for (e, hp) in std::mem::take(&mut self.epoched_hps) {
+            if e + 2 <= epoch {
+                self.inner.recycle(hp);
+            } else {
+                kept.push((e, hp));
+            }
+        }
+        kept.extend(fresh_hps.into_iter().map(|hp| (epoch, hp)));
+        self.epoched_hps = kept;
+    }
+
+    /// Algorithm 5's `Reclaim`: flush invalidations, take the retired set,
+    /// issue the epoched heavy fence, revoke all parked frontier
+    /// protections, then scan hazards and free the unprotected nodes.
+    pub fn reclaim(&mut self) {
+        self.do_invalidation();
+        let epoched = std::mem::take(&mut self.epoched_hps);
+        let domain = self.domain;
+        self.inner.reclaim_with_prefence(|| {
+            domain.fence_epoch_step();
+            for (_, hp) in &epoched {
+                hp.reset();
+            }
+        });
+        for (_, hp) in epoched {
+            self.inner.recycle(hp);
+        }
+    }
+
+    /// Number of nodes unlinked/retired by this thread and not yet freed.
+    pub fn garbage_count(&self) -> usize {
+        self.unlinkeds.iter().map(|b| b.nodes.len()).sum::<usize>() + self.inner.retired_count()
+    }
+}
+
+impl Drop for Thread {
+    fn drop(&mut self) {
+        self.reclaim();
+        // Anything still protected by other threads is donated to the
+        // domain's orphan list by the inner thread's Drop.
+    }
+}

@@ -1,0 +1,57 @@
+//! HP — the original hazard pointers (Michael 2002/2004) with the
+//! asymmetric-fence optimization of the HP++ paper (§3.4).
+//!
+//! A thread that wants to access a node first **announces** the pointer in a
+//! hazard slot, then **validates** that the node is still reachable (an
+//! over-approximation of "not retired"). A thread that retires a node defers
+//! it to a local bag; reclamation scans all hazard slots and frees only the
+//! unannounced retired nodes.
+//!
+//! The announce/validate fast path issues only a *light* fence (a compiler
+//! fence when `membarrier(2)` is available); reclamation issues the matching
+//! process-wide *heavy* fence before scanning.
+//!
+//! The [`hp-plus`](../hp_plus/index.html) crate extends — not modifies —
+//! this crate, exactly as HP++ extends HP in the paper (§4.2).
+//!
+//! # Example: the Treiber-stack protection pattern (paper Fig. 2)
+//!
+//! ```
+//! use smr_common::{Atomic, Shared};
+//! use std::sync::atomic::Ordering::AcqRel;
+//!
+//! let mut thread = hp::default_domain().register();
+//! let hp_slot = thread.hazard_pointer();
+//!
+//! let head = Atomic::new("top");
+//!
+//! // Announce + validate in a loop: `protect` retries until the load from
+//! // `head` is covered by the announcement.
+//! let h = hp_slot.protect(&head);
+//! assert_eq!(unsafe { *h.deref() }, "top");
+//!
+//! // Another thread swaps out the node and retires it...
+//! let old = head.swap(Shared::from_owned("new-top"), AcqRel);
+//! unsafe { thread.retire(old.as_raw()) };
+//!
+//! // ...but the announcement keeps it alive through a reclamation pass.
+//! thread.reclaim();
+//! assert_eq!(unsafe { *h.deref() }, "top");
+//!
+//! hp_slot.reset();
+//! thread.reclaim(); // now it is freed
+//! # unsafe { head.into_owned(); }
+//! ```
+
+#![warn(missing_docs)]
+
+mod domain;
+mod hazard;
+mod thread;
+
+pub use domain::{default_domain, Domain};
+pub use hazard::HazardPointer;
+pub use thread::Thread;
+
+/// Retire this many nodes between reclamation attempts (paper §5: 128).
+pub const RECLAIM_THRESHOLD: usize = 128;

@@ -1,0 +1,51 @@
+//! NR — the no-reclamation baseline (paper §5).
+//!
+//! Detached nodes are counted as garbage and **leaked**. This is the
+//! upper-bound baseline for throughput (no reclamation work at all) and the
+//! lower bound for memory (garbage grows monotonically).
+
+#![warn(missing_docs)]
+
+use smr_common::{counters, GuardedScheme, SchemeGuard, Shared};
+
+/// Marker type wiring NR into the [`GuardedScheme`] interface.
+pub struct Nr;
+
+/// The NR "guard": protection is vacuous because nothing is ever freed.
+#[derive(Default)]
+pub struct NrGuard;
+
+impl SchemeGuard for NrGuard {
+    unsafe fn defer_destroy<T>(&self, ptr: Shared<T>) {
+        debug_assert!(!ptr.is_null());
+        counters::incr_garbage(1);
+        // Intentionally leaked.
+    }
+
+    fn refresh(&mut self) {}
+}
+
+impl GuardedScheme for Nr {
+    type Handle = ();
+    type Guard<'a> = NrGuard;
+
+    fn handle() -> Self::Handle {}
+
+    fn pin(_handle: &mut Self::Handle) -> NrGuard {
+        NrGuard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defer_destroy_leaks_and_counts() {
+        let before = counters::total_retired();
+        let g = Nr::pin(&mut ());
+        unsafe { g.defer_destroy(Shared::from_owned(1u64)) };
+        assert_eq!(counters::total_retired(), before + 1);
+        assert!(g.validate());
+    }
+}

@@ -1,0 +1,118 @@
+//! Global garbage accounting.
+//!
+//! Every reclamation scheme in the workspace reports its retired-but-not-yet-
+//! reclaimed blocks here so the benchmark harness can regenerate the paper's
+//! memory figures (Fig. 11, Figs. 15–23) uniformly across schemes:
+//!
+//! * a block counts as garbage from the moment the data structure hands it to
+//!   the scheme (retire for HP/EBR/PEBR/NR, **unlink** for HP++ — HP++ defers
+//!   retirement, and the paper counts that deferred garbage too), and
+//! * stops counting when the scheme frees it (never, for NR).
+//!
+//! Counters are striped across cache lines to keep the accounting from
+//! becoming the bottleneck it is trying to measure.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const STRIPES: usize = 64;
+
+#[repr(align(128))]
+struct Stripe {
+    retired: AtomicU64,
+    freed: AtomicU64,
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const STRIPE_INIT: Stripe = Stripe {
+    retired: AtomicU64::new(0),
+    freed: AtomicU64::new(0),
+};
+
+static STRIPES_ARR: [Stripe; STRIPES] = [STRIPE_INIT; STRIPES];
+
+#[inline]
+fn stripe() -> &'static Stripe {
+    use std::cell::Cell;
+    use std::sync::atomic::AtomicUsize;
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static IDX: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    let idx = IDX.with(|i| {
+        if i.get() == usize::MAX {
+            i.set(NEXT.fetch_add(1, Ordering::Relaxed) % STRIPES);
+        }
+        i.get()
+    });
+    &STRIPES_ARR[idx]
+}
+
+/// Records that `n` blocks were handed to the reclamation scheme.
+#[inline]
+pub fn incr_garbage(n: u64) {
+    stripe().retired.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Records that `n` blocks were actually freed.
+#[inline]
+pub fn decr_garbage(n: u64) {
+    stripe().freed.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Total blocks ever handed to reclamation schemes.
+pub fn total_retired() -> u64 {
+    STRIPES_ARR
+        .iter()
+        .map(|s| s.retired.load(Ordering::Relaxed))
+        .sum()
+}
+
+/// Total blocks freed so far.
+pub fn total_freed() -> u64 {
+    STRIPES_ARR
+        .iter()
+        .map(|s| s.freed.load(Ordering::Relaxed))
+        .sum()
+}
+
+/// Current number of retired-but-unreclaimed blocks.
+///
+/// The reading is a racy sum (freed may be observed ahead of retired) so it
+/// saturates at zero.
+pub fn garbage_now() -> u64 {
+    total_retired().saturating_sub(total_freed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn garbage_accounting_balances() {
+        let before = garbage_now();
+        incr_garbage(10);
+        assert!(garbage_now() >= before + 10 - before.min(10));
+        decr_garbage(10);
+        // net zero from this test's perspective
+        let after = garbage_now();
+        assert!(after <= before + 10);
+    }
+
+    #[test]
+    fn multithreaded_accounting() {
+        let retired_before = total_retired();
+        let freed_before = total_freed();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        incr_garbage(1);
+                        decr_garbage(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(total_retired() - retired_before, 8000);
+        assert_eq!(total_freed() - freed_before, 8000);
+    }
+}

@@ -1,0 +1,166 @@
+//! Asymmetric light/heavy fences (HP++ paper §3.4).
+//!
+//! The protection fast path (`TryProtect`) replaces its sequentially
+//! consistent fence with a *light* fence — a compiler fence that emits no
+//! instruction — while the reclamation slow path issues a *heavy*
+//! process-wide fence that forces every other thread through a full barrier.
+//! On Linux the heavy fence is the `membarrier(2)` syscall with
+//! `MEMBARRIER_CMD_PRIVATE_EXPEDITED` (the equivalent of Windows'
+//! `FlushProcessWriteBuffers`). Where `membarrier` is unavailable, both sides
+//! fall back to plain `SeqCst` fences, which is always correct (the pair of
+//! SC fences the paper starts from) just slower on the protection path.
+
+use std::sync::atomic::{compiler_fence, fence, Ordering};
+use std::sync::OnceLock;
+
+#[cfg(target_os = "linux")]
+mod membarrier_impl {
+    // Values from linux/membarrier.h.
+    pub const MEMBARRIER_CMD_QUERY: libc::c_int = 0;
+    pub const MEMBARRIER_CMD_PRIVATE_EXPEDITED: libc::c_int = 1 << 3;
+    pub const MEMBARRIER_CMD_REGISTER_PRIVATE_EXPEDITED: libc::c_int = 1 << 4;
+
+    fn sys_membarrier(cmd: libc::c_int) -> libc::c_long {
+        unsafe { libc::syscall(libc::SYS_membarrier, cmd, 0 as libc::c_int) }
+    }
+
+    /// Registers for private-expedited membarrier; returns whether usable.
+    pub fn try_register() -> bool {
+        let supported = sys_membarrier(MEMBARRIER_CMD_QUERY);
+        if supported < 0 {
+            return false;
+        }
+        if supported & (MEMBARRIER_CMD_PRIVATE_EXPEDITED as libc::c_long) == 0 {
+            return false;
+        }
+        sys_membarrier(MEMBARRIER_CMD_REGISTER_PRIVATE_EXPEDITED) >= 0
+    }
+
+    /// Issues the process-wide barrier. Must only be called after a
+    /// successful [`try_register`].
+    pub fn barrier() {
+        let ret = sys_membarrier(MEMBARRIER_CMD_PRIVATE_EXPEDITED);
+        debug_assert!(ret >= 0, "membarrier failed after registration");
+    }
+}
+
+/// Which fence strategy is active for this process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Asymmetric: light = compiler fence, heavy = `membarrier(2)`.
+    Asymmetric,
+    /// Symmetric fallback: both sides are `SeqCst` fences.
+    SeqCst,
+}
+
+fn strategy_cell() -> &'static OnceLock<Strategy> {
+    static CELL: OnceLock<Strategy> = OnceLock::new();
+    &CELL
+}
+
+/// The fence strategy in use (detected once, on first use).
+///
+/// Set `SMR_NO_MEMBARRIER=1` to force the symmetric fallback (useful for
+/// benchmarking the cost of the optimization, and on kernels without
+/// `membarrier`).
+pub fn strategy() -> Strategy {
+    *strategy_cell().get_or_init(|| {
+        if std::env::var_os("SMR_NO_MEMBARRIER").is_some() {
+            return Strategy::SeqCst;
+        }
+        #[cfg(target_os = "linux")]
+        {
+            if membarrier_impl::try_register() {
+                return Strategy::Asymmetric;
+            }
+        }
+        Strategy::SeqCst
+    })
+}
+
+/// The light fence issued on the protection fast path (per `TryProtect`).
+///
+/// With the asymmetric strategy this compiles to nothing (it only prevents
+/// compiler reordering); the matching heavy fence on the reclamation side
+/// supplies the ordering.
+#[inline]
+pub fn light() {
+    match strategy() {
+        Strategy::Asymmetric => compiler_fence(Ordering::SeqCst),
+        Strategy::SeqCst => fence(Ordering::SeqCst),
+    }
+}
+
+/// The heavy process-wide fence issued on the reclamation slow path.
+#[inline]
+pub fn heavy() {
+    match strategy() {
+        Strategy::Asymmetric => {
+            #[cfg(target_os = "linux")]
+            membarrier_impl::barrier();
+            #[cfg(not(target_os = "linux"))]
+            fence(Ordering::SeqCst);
+        }
+        Strategy::SeqCst => fence(Ordering::SeqCst),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_is_stable() {
+        let a = strategy();
+        let b = strategy();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fences_do_not_crash() {
+        for _ in 0..100 {
+            light();
+        }
+        for _ in 0..10 {
+            heavy();
+        }
+    }
+
+    #[test]
+    fn heavy_fence_orders_across_threads() {
+        // Smoke Dekker-style test: with a heavy fence on one side and light
+        // fences on the other, at least one side must see the other's write.
+        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::*};
+        use std::sync::Arc;
+
+        let x = Arc::new(AtomicBool::new(false));
+        let y = Arc::new(AtomicBool::new(false));
+        let both_missed = Arc::new(AtomicUsize::new(0));
+
+        for _ in 0..200 {
+            x.store(false, Relaxed);
+            y.store(false, Relaxed);
+            let (x1, y1, x2, y2) = (x.clone(), y.clone(), x.clone(), y.clone());
+            let t1 = std::thread::spawn(move || {
+                x1.store(true, Relaxed);
+                super::light();
+                y1.load(Relaxed)
+            });
+            let t2 = std::thread::spawn(move || {
+                y2.store(true, Relaxed);
+                super::heavy();
+                x2.load(Relaxed)
+            });
+            let saw_y = t1.join().unwrap();
+            let saw_x = t2.join().unwrap();
+            if !saw_x && !saw_y {
+                both_missed.fetch_add(1, Relaxed);
+            }
+        }
+        // Note: this property is only guaranteed when the fences actually run
+        // concurrently; with spawn/join each thread usually finishes alone,
+        // so we just assert the test ran. The real ordering guarantees are
+        // exercised by the scheme stress tests.
+        assert!(both_missed.load(Relaxed) <= 200);
+    }
+}

@@ -1,0 +1,32 @@
+//! Shared infrastructure for safe memory reclamation (SMR) schemes.
+//!
+//! This crate hosts the pieces that every reclamation scheme and every
+//! concurrent data structure in the workspace builds on:
+//!
+//! * [`tagged`] — bit-twiddling helpers for pointer tagging (logical deletion
+//!   marks, HP++ invalidation marks).
+//! * [`atomic`] — [`Atomic<T>`](atomic::Atomic) / [`Shared<T>`](atomic::Shared),
+//!   tagged atomic pointers used by all schemes and data structures.
+//! * [`fence`] — the asymmetric light/heavy fence pair from HP++ §3.4,
+//!   implemented with Linux `membarrier(2)` when available and falling back to
+//!   plain `SeqCst` fences elsewhere.
+//! * [`counters`] — global garbage accounting used by the benchmark harness to
+//!   reproduce the paper's "unreclaimed blocks" figures.
+//! * [`map`] — the [`ConcurrentMap`] trait every
+//!   benchmarked structure implements, plus the [`GuardedScheme`]
+//!   abstraction shared by the guard-based schemes (NR, EBR, PEBR).
+
+#![warn(missing_docs)]
+
+pub mod atomic;
+pub mod counters;
+pub mod fence;
+pub mod map;
+pub mod retired;
+pub mod tagged;
+pub mod util;
+
+pub use atomic::{Atomic, Shared};
+pub use map::{ConcurrentMap, GuardedScheme, SchemeGuard};
+pub use retired::Retired;
+pub use util::CachePadded;

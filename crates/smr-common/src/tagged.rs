@@ -1,0 +1,92 @@
+//! Pointer-tagging helpers.
+//!
+//! Concurrent linked structures store metadata in the low bits of aligned
+//! pointers: bit 0 is the *logical deletion* mark (Harris-style lists, skip
+//! lists, …) and bit 1 is the HP++ *invalidation* mark (§3.2 of the paper).
+//! All nodes in this workspace are heap allocations with alignment ≥ 4, so two
+//! low bits are always available.
+
+/// Bit 0: the node (or the edge stored in this word) is logically deleted.
+pub const TAG_DELETED: usize = 0b01;
+
+/// Bit 1: the node has been invalidated by an HP++ unlinker (§3.2).
+pub const TAG_INVALIDATED: usize = 0b10;
+
+/// Mask of low bits available for tagging given the alignment of `T`.
+#[inline]
+pub const fn low_bits<T>() -> usize {
+    (1 << std::mem::align_of::<T>().trailing_zeros()) - 1
+}
+
+/// Composes a raw pointer and a tag into a single word.
+///
+/// Any existing tag on `ptr` is replaced.
+#[inline]
+pub fn compose<T>(ptr: *mut T, tag: usize) -> usize {
+    debug_assert!(tag <= low_bits::<T>(), "tag does not fit in alignment bits");
+    (ptr as usize & !low_bits::<T>()) | (tag & low_bits::<T>())
+}
+
+/// Splits a word into its untagged pointer and tag.
+#[inline]
+pub fn decompose<T>(data: usize) -> (*mut T, usize) {
+    ((data & !low_bits::<T>()) as *mut T, data & low_bits::<T>())
+}
+
+/// The untagged pointer part of a word.
+#[inline]
+pub fn untagged<T>(data: usize) -> *mut T {
+    decompose::<T>(data).0
+}
+
+/// The tag part of a word.
+#[inline]
+pub fn tag_of<T>(data: usize) -> usize {
+    data & low_bits::<T>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[repr(align(8))]
+    struct Node8(#[allow(dead_code)] u64);
+
+    #[test]
+    fn low_bits_reflect_alignment() {
+        assert_eq!(low_bits::<u64>(), 0b111);
+        assert_eq!(low_bits::<u32>(), 0b011);
+        assert_eq!(low_bits::<u16>(), 0b001);
+        assert_eq!(low_bits::<Node8>(), 0b111);
+    }
+
+    #[test]
+    fn compose_decompose_roundtrip() {
+        let b = Box::into_raw(Box::new(Node8(7)));
+        for tag in 0..8 {
+            let w = compose(b, tag);
+            let (p, t) = decompose::<Node8>(w);
+            assert_eq!(p, b);
+            assert_eq!(t, tag);
+        }
+        unsafe { drop(Box::from_raw(b)) };
+    }
+
+    #[test]
+    fn compose_replaces_existing_tag() {
+        let b = Box::into_raw(Box::new(Node8(7)));
+        let w = compose(b, TAG_DELETED);
+        let rw = untagged::<Node8>(w);
+        let w2 = compose(rw, TAG_INVALIDATED);
+        assert_eq!(tag_of::<Node8>(w2), TAG_INVALIDATED);
+        unsafe { drop(Box::from_raw(b)) };
+    }
+
+    #[test]
+    fn null_composes() {
+        let w = compose::<Node8>(std::ptr::null_mut(), TAG_DELETED);
+        let (p, t) = decompose::<Node8>(w);
+        assert!(p.is_null());
+        assert_eq!(t, TAG_DELETED);
+    }
+}

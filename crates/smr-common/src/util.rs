@@ -1,0 +1,45 @@
+//! Small utilities shared by the scheme crates.
+
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to 128 bytes to avoid false sharing.
+///
+/// 128 rather than 64 because recent Intel parts prefetch cache-line pairs.
+#[repr(align(128))]
+#[derive(Debug, Default)]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value`.
+    pub const fn new(value: T) -> Self {
+        Self { value }
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padding_alignment() {
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 128);
+        assert!(std::mem::size_of::<CachePadded<u8>>() >= 128);
+        let c = CachePadded::new(42u32);
+        assert_eq!(*c, 42);
+    }
+}

@@ -1,0 +1,13 @@
+//! HP++ suite: umbrella crate re-exporting the workspace libraries.
+//!
+//! See the `hp_plus` crate for the paper's core contribution and `ds` for the
+//! benchmark data-structure suite.
+
+pub use cdrc;
+pub use ds;
+pub use ebr;
+pub use hp;
+pub use hp_plus;
+pub use nr;
+pub use pebr;
+pub use smr_common;

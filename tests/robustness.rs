@@ -1,0 +1,127 @@
+//! Robustness (paper §4.4, Table 1): garbage stays bounded for the
+//! hazard-based schemes even under churn, and a stalled EBR critical
+//! section makes garbage grow without bound while PEBR ejects the offender.
+
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::time::Duration;
+
+use smr_common::{ConcurrentMap, GuardedScheme, SchemeGuard};
+
+fn churn_n<M: ConcurrentMap<u64, u64>>(m: &M, h: &mut M::Handle, rounds: u64) {
+    for r in 0..rounds {
+        for k in 0..16 {
+            m.insert(h, k, r);
+        }
+        for k in 0..16 {
+            m.remove(h, &k);
+        }
+    }
+}
+
+#[test]
+fn hp_garbage_bounded_under_churn() {
+    let m: ds::hp::HMList<u64, u64> = ConcurrentMap::new();
+    let mut h = m.handle();
+    let before = smr_common::counters::garbage_now();
+    churn_n(&m, &mut h, 500);
+    let grown = smr_common::counters::garbage_now().saturating_sub(before);
+    assert!(grown < 1000, "HP garbage grew to {grown}");
+}
+
+#[test]
+fn hpp_garbage_bounded_under_churn() {
+    let m: ds::hpp::HHSList<u64, u64> = ConcurrentMap::new();
+    let mut h = m.handle();
+    let before = smr_common::counters::garbage_now();
+    churn_n(&m, &mut h, 500);
+    let grown = smr_common::counters::garbage_now().saturating_sub(before);
+    assert!(grown < 1000, "HP++ garbage grew to {grown}");
+}
+
+#[test]
+fn ebr_stalled_pin_grows_unboundedly_pebr_does_not() {
+    // Deterministic version of the Table 1 robustness experiment: the
+    // staller provably pins *before* the churners run a fixed amount of
+    // work, so the garbage growth does not depend on scheduling.
+    fn run<S: GuardedScheme>() -> u64 {
+        const ROUNDS: u64 = 1000; // 16 retires per round per churner
+
+        let m: ds::guarded::HMList<u64, u64, S> = ds::guarded::HMList::new();
+        let pinned = AtomicBool::new(false);
+        let stop = AtomicBool::new(false);
+        let before = smr_common::counters::garbage_now();
+        let growth = std::thread::scope(|s| {
+            // Staller: enters a critical section and never leaves,
+            // refreshing only if ejected — a cooperative-but-slow reader.
+            s.spawn(|| {
+                let mut h = S::handle();
+                let mut g = S::pin(&mut h);
+                pinned.store(true, Relaxed);
+                while !stop.load(Relaxed) {
+                    if !g.validate() {
+                        g.refresh(); // PEBR path: ejection observed
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            });
+            while !pinned.load(Relaxed) {
+                std::thread::yield_now();
+            }
+            // Churners: a fixed amount of retiring work.
+            std::thread::scope(|s2| {
+                for _ in 0..2 {
+                    let m = &m;
+                    s2.spawn(move || {
+                        let mut h = ConcurrentMap::handle(m);
+                        churn_n(m, &mut h, ROUNDS);
+                    });
+                }
+            });
+            let growth = smr_common::counters::garbage_now().saturating_sub(before);
+            stop.store(true, Relaxed);
+            growth
+        });
+        growth
+    }
+
+    let ebr_growth = run::<ebr::Ebr>();
+    let pebr_growth = run::<pebr::Pebr>();
+    // 2 churners × 1000 rounds × 16 removals ≈ 32k retires, none of which
+    // EBR may free under the stalled pin (modulo a bounded prefix retired
+    // before the pin was visible).
+    assert!(
+        ebr_growth > 10_000,
+        "EBR with a stalled pin should accumulate; got {ebr_growth}"
+    );
+    assert!(
+        pebr_growth < ebr_growth / 2,
+        "PEBR should eject the staller and stay below EBR: pebr={pebr_growth} ebr={ebr_growth}"
+    );
+}
+
+#[test]
+fn hybrid_hp_retire_through_hpp_thread() {
+    // §4.2 backward compatibility: an HP++ thread can retire nodes protected
+    // with the original HP validation, in the same domain.
+    let domain = hp_plus::default_domain();
+    let mut t = domain.register();
+    let slot = smr_common::Atomic::new(7u64);
+
+    let hp = t.hazard_pointer();
+    let p = slot.load(std::sync::atomic::Ordering::Acquire);
+    assert!(hp.try_protect(p, &slot).is_ok());
+
+    // Swap in a new value and retire the old through the HP++ thread's
+    // plain-HP path.
+    let fresh = smr_common::Shared::from_owned(8u64);
+    let old = slot.swap(fresh, std::sync::atomic::Ordering::AcqRel);
+    unsafe { t.retire(old.as_raw()) };
+
+    // Protected: must survive a reclaim.
+    t.reclaim();
+    assert_eq!(unsafe { *old.deref() }, 7);
+
+    hp.reset();
+    t.reclaim();
+    unsafe { slot.into_owned() };
+}
