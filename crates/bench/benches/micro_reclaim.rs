@@ -1,0 +1,114 @@
+//! Micro-benchmark of the retire→scan→free pipeline itself — the path the
+//! adaptive reclaim threshold and the persistent scan scratch optimize.
+//!
+//! * `reclaim/hp/{1,4,16}` — plain HP retire throughput: each thread
+//!   allocates and retires nodes back-to-back, so reclamation runs at the
+//!   adaptive trigger (`max(RECLAIM_THRESHOLD, k·H)`) and every scan's cost
+//!   is amortized over the retires between triggers.
+//! * `reclaim/hp++/{1,4,16}` — HP++ unlink→invalidate→reclaim throughput:
+//!   each thread unlinks single nodes through `try_unlink`, exercising the
+//!   inline batch storage, the deferred invalidation flush, and the epoched
+//!   reclamation.
+//!
+//! Reported per-iteration time is per retire (resp. per unlink), with the
+//! periodic scans folded in. Knobs: `HP_RECLAIM_K`, `HPP_INVALIDATE_PERIOD`,
+//! `HPP_RECLAIM_PERIOD`.
+
+use std::sync::atomic::Ordering::{AcqRel, Acquire, Release};
+use std::sync::Barrier;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smr_common::{Atomic, Shared};
+
+const THREADS: [usize; 3] = [1, 4, 16];
+
+/// Runs `work` on `n` threads and returns the wall time of the parallel
+/// region (started and stopped by barrier handshakes with the measuring
+/// thread).
+fn timed<W: Fn(u64) + Sync>(n: usize, per_thread: u64, work: W) -> std::time::Duration {
+    let barrier = Barrier::new(n + 1);
+    std::thread::scope(|s| {
+        for _ in 0..n {
+            s.spawn(|| {
+                barrier.wait();
+                work(per_thread);
+                barrier.wait();
+            });
+        }
+        barrier.wait();
+        let start = Instant::now();
+        barrier.wait(); // all workers done
+        start.elapsed()
+    })
+}
+
+fn bench_hp(c: &mut Criterion) {
+    let domain: &'static hp::Domain = Box::leak(Box::new(hp::Domain::new()));
+    let mut g = c.benchmark_group("reclaim/hp");
+    for &n in &THREADS {
+        g.bench_function(&n.to_string(), |b| {
+            b.iter_custom(|iters| {
+                let per = iters.div_ceil(n as u64);
+                timed(n, per, |per| {
+                    let mut t = domain.register();
+                    // A live (empty) slot per thread so scans have a
+                    // realistic hazard array to snapshot.
+                    let hp_slot = t.hazard_pointer();
+                    for i in 0..per {
+                        let p = Box::into_raw(Box::new(i));
+                        unsafe { t.retire(p) };
+                    }
+                    t.recycle(hp_slot);
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+struct N(Atomic<N>);
+
+unsafe impl hp_plus::Invalidate for N {
+    unsafe fn invalidate(ptr: *mut Self) {
+        let n = unsafe { &*ptr };
+        let cur = n.0.load(std::sync::atomic::Ordering::Relaxed);
+        n.0.store(cur.with_tag(cur.tag() | 2), Release);
+    }
+}
+
+fn bench_hpp(c: &mut Criterion) {
+    let domain: &'static hp_plus::Domain = Box::leak(Box::new(hp_plus::Domain::new()));
+    let mut g = c.benchmark_group("reclaim/hp++");
+    for &n in &THREADS {
+        g.bench_function(&n.to_string(), |b| {
+            b.iter_custom(|iters| {
+                let per = iters.div_ceil(n as u64);
+                timed(n, per, |per| {
+                    let mut t = domain.register();
+                    let head: Atomic<N> = Atomic::null();
+                    for _ in 0..per {
+                        let node = Shared::from_owned(N(Atomic::null()));
+                        head.store(node, Release);
+                        let ok = unsafe {
+                            t.try_unlink(&[], || {
+                                head.compare_exchange(node, Shared::null(), AcqRel, Acquire)
+                                    .ok()
+                                    .map(|_| hp_plus::Unlinked::single(node))
+                            })
+                        };
+                        assert!(ok);
+                    }
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_hp, bench_hpp
+}
+criterion_main!(benches);

@@ -8,7 +8,6 @@
 //! cargo run --release -p bench --bin verdict
 //! ```
 
-use std::collections::BTreeMap;
 
 /// (ds, scheme, threads, key_range) → metric columns.
 type Rows = Vec<Row>;

@@ -222,7 +222,7 @@ pub fn run(sc: &Scenario) -> Option<Stats> {
         };
     }
 
-    let stats = match sc.ds {
+    match sc.ds {
         Ds::HMList => guarded3!(HMList).or_else(|| match sc.scheme {
             Scheme::Hp => Some(run_map::<dshp::HMList<u64, u64>>(sc)),
             Scheme::Hpp => Some(run_map::<hpp::HMList<u64, u64>>(sc)),
@@ -270,6 +270,5 @@ pub fn run(sc: &Scenario) -> Option<Stats> {
             Scheme::Hpp => Some(run_map::<hpp::BonsaiTree<u64, u64>>(sc)),
             _ => None,
         }),
-    };
-    stats
+    }
 }

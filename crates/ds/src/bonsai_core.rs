@@ -97,6 +97,10 @@ impl<K, V> Default for Builder<K, V> {
 }
 
 type Parts<K, V> = (Shared<Node<K, V>>, K, V, Shared<Node<K, V>>);
+/// `remove`'s result: the rebuilt subtree root and the removed value.
+type Removed<K, V> = Option<(Shared<Node<K, V>>, V)>;
+/// An edge extraction: the rebuilt subtree plus the extracted key/value.
+type Extracted<K, V> = (Shared<Node<K, V>>, K, V);
 
 impl<K: Clone + Ord, V: Clone> Builder<K, V> {
     /// Creates an empty builder.
@@ -256,7 +260,7 @@ impl<K: Clone + Ord, V: Clone> Builder<K, V> {
         p: &mut P,
         t: Shared<Node<K, V>>,
         key: &K,
-    ) -> Result<Option<(Shared<Node<K, V>>, V)>, Restart> {
+    ) -> Result<Removed<K, V>, Restart> {
         if t.is_null() {
             return Ok(None);
         }
@@ -315,7 +319,7 @@ impl<K: Clone + Ord, V: Clone> Builder<K, V> {
         &mut self,
         p: &mut P,
         t: Shared<Node<K, V>>,
-    ) -> Result<(Shared<Node<K, V>>, K, V), Restart> {
+    ) -> Result<Extracted<K, V>, Restart> {
         let (l, k, v, r) = self.destructure(p, t)?;
         if l.is_null() {
             Ok((r, k, v))
@@ -329,7 +333,7 @@ impl<K: Clone + Ord, V: Clone> Builder<K, V> {
         &mut self,
         p: &mut P,
         t: Shared<Node<K, V>>,
-    ) -> Result<(Shared<Node<K, V>>, K, V), Restart> {
+    ) -> Result<Extracted<K, V>, Restart> {
         let (l, k, v, r) = self.destructure(p, t)?;
         if r.is_null() {
             Ok((l, k, v))

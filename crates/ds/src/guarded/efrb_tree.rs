@@ -47,6 +47,10 @@ pub(crate) struct Node<K, V> {
     pub(crate) right: Atomic<Node<K, V>>,
 }
 
+/// Insert-retry stash: a preallocated internal node and its new leaf,
+/// reused across CAS retries instead of reallocating.
+type Stash<K, V> = Option<(Box<Node<K, V>>, Shared<Node<K, V>>)>;
+
 impl<K, V> Node<K, V> {
     pub(crate) fn leaf(key: NmKey<K>, value: Option<V>) -> Self {
         Self {
@@ -264,7 +268,7 @@ where
     pub(crate) fn insert_impl(&self, handle: &mut S::Handle, key: K, value: V) -> bool {
         let mut guard = S::pin(handle);
         let key = NmKey::Fin(key.clone());
-        let mut stash: Option<(Box<Node<K, V>>, Shared<Node<K, V>>)> = None;
+        let mut stash: Stash<K, V> = None;
         loop {
             if !guard.validate() {
                 guard.refresh();

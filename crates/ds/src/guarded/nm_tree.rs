@@ -30,6 +30,10 @@ pub(crate) enum NmKey<K> {
     Inf2,
 }
 
+/// Insert-retry stash: a preallocated internal node and its new leaf,
+/// reused across CAS retries instead of reallocating.
+type Stash<K, V> = Option<(Box<Node<K, V>>, Shared<Node<K, V>>)>;
+
 impl<K: Ord> PartialOrd for NmKey<K> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
@@ -268,7 +272,7 @@ where
 
     pub(crate) fn insert_impl(&self, handle: &mut S::Handle, key: K, value: V) -> bool {
         let mut guard = S::pin(handle);
-        let mut stash: Option<(Box<Node<K, V>>, Shared<Node<K, V>>)> = None;
+        let mut stash: Stash<K, V> = None;
         loop {
             if !guard.validate() {
                 guard.refresh();

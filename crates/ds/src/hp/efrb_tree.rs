@@ -55,6 +55,10 @@ pub(crate) struct Node<K, V> {
     pub(crate) right: Atomic<Node<K, V>>,
 }
 
+/// Insert-retry stash: a preallocated internal node and its new leaf,
+/// reused across CAS retries instead of reallocating.
+type Stash<K, V> = Option<(Box<Node<K, V>>, Shared<Node<K, V>>)>;
+
 impl<K, V> Node<K, V> {
     fn leaf(key: NmKey<K>, value: Option<V>) -> Self {
         Self {
@@ -386,7 +390,7 @@ where
 
     pub(crate) fn insert_impl(&self, handle: &mut Handle<T>, key: K, value: V) -> bool {
         let key = NmKey::Fin(key.clone());
-        let mut stash: Option<(Box<Node<K, V>>, Shared<Node<K, V>>)> = None;
+        let mut stash: Stash<K, V> = None;
         loop {
             let sr = self.search(&key, handle);
             let leaf_node = unsafe { sr.l.deref() };

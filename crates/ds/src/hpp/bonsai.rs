@@ -200,7 +200,13 @@ where
                     Acquire,
                 )
                 .ok()
-                .map(|_| Unlinked::new(replaced.to_vec()))
+                .map(|_| match *replaced {
+                    // Point updates replace one or two path nodes; only
+                    // rebalancing rotations detach longer chains.
+                    [one] => Unlinked::single(one),
+                    [a, b] => Unlinked::pair(a, b),
+                    _ => Unlinked::new(replaced.to_vec()),
+                })
             })
         }
     }

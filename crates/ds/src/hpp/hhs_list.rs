@@ -114,8 +114,20 @@ where
                         .map(|_| {
                             // Collect the detached chain. The links are
                             // frozen (all marked), so a relaxed walk is fine.
-                            let mut nodes = Vec::new();
-                            let mut p = expected;
+                            // One- and two-node chains — the common case —
+                            // use the allocation-free variants.
+                            let second =
+                                unsafe { expected.deref() }.next.load(Relaxed).with_tag(0);
+                            if second == target {
+                                return Unlinked::single(expected);
+                            }
+                            let third =
+                                unsafe { second.deref() }.next.load(Relaxed).with_tag(0);
+                            if third == target {
+                                return Unlinked::pair(expected, second);
+                            }
+                            let mut nodes = vec![expected, second];
+                            let mut p = third;
                             while p != target {
                                 nodes.push(p);
                                 p = unsafe { p.deref() }.next.load(Relaxed).with_tag(0);

@@ -44,6 +44,10 @@ pub struct Handle {
     hp_successor: HazardPointer,
 }
 
+/// Insert-retry stash: a preallocated internal node and its new leaf,
+/// reused across CAS retries instead of reallocating.
+type Stash<K, V> = Option<(Box<Node<K, V>>, Shared<Node<K, V>>)>;
+
 impl Handle {
     /// Registers with the default HP++ domain.
     pub fn new() -> Self {
@@ -222,18 +226,28 @@ where
                     .map(|_| {
                         // Collect the detached chain (frozen edges): each
                         // chain node plus its pendant flagged leaf, ending
-                        // at the promoted sibling.
-                        let mut nodes = Vec::new();
-                        let mut m = successor_word.with_tag(0);
-                        loop {
+                        // at the promoted sibling. A one-link chain — the
+                        // common case — is exactly node + pendant and uses
+                        // the allocation-free Pair variant.
+                        let split = |m: Shared<Node<K, V>>| {
                             let node = unsafe { m.deref() };
                             let lw = node.left.load(Relaxed);
                             let rw = node.right.load(Relaxed);
-                            let (pendant, continue_w) = if lw.tag() & FLAG != 0 {
+                            if lw.tag() & FLAG != 0 {
                                 (lw, rw)
                             } else {
                                 (rw, lw)
-                            };
+                            }
+                        };
+                        let first = successor_word.with_tag(0);
+                        let (pendant, continue_w) = split(first);
+                        if continue_w.ptr_eq(promoted) {
+                            return Unlinked::pair(first, pendant.with_tag(0));
+                        }
+                        let mut nodes = vec![first, pendant.with_tag(0)];
+                        let mut m = continue_w.with_tag(0);
+                        loop {
+                            let (pendant, continue_w) = split(m);
                             nodes.push(m);
                             nodes.push(pendant.with_tag(0));
                             if continue_w.ptr_eq(promoted) {
@@ -258,7 +272,7 @@ where
     }
 
     pub(crate) fn insert_impl(&self, handle: &mut Handle, key: K, value: V) -> bool {
-        let mut stash: Option<(Box<Node<K, V>>, Shared<Node<K, V>>)> = None;
+        let mut stash: Stash<K, V> = None;
         loop {
             let sr = self.seek(&key, handle);
             let leaf = sr.leaf();

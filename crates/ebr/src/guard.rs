@@ -25,10 +25,16 @@ impl<'a> Guard<'a> {
         }
     }
 
+    /// Reborrows the handle the guard exclusively holds.
+    ///
+    /// # Safety
+    /// The returned reference must not outlive the statement that creates
+    /// it, and at most one may be live at a time. The guard exclusively
+    /// borrows the (non-Sync) handle for its whole lifetime, so no other
+    /// reference can exist concurrently.
     #[inline]
-    fn handle(&self) -> &mut LocalHandle {
-        // The guard exclusively borrows the (non-Sync) handle for its whole
-        // lifetime, so reconstructing a mutable reference is sound.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn handle(&self) -> &mut LocalHandle {
         unsafe { &mut *self.handle }
     }
 
@@ -38,7 +44,7 @@ impl<'a> Guard<'a> {
     /// `ptr` must be a `Box`-allocated node that has been unlinked from the
     /// data structure and is retired exactly once.
     pub unsafe fn defer_destroy<T>(&self, ptr: Shared<T>) {
-        let handle = self.handle();
+        let handle = unsafe { self.handle() };
         let epoch = handle.global.epoch.load(Ordering::Relaxed);
         counters::incr_garbage(1);
         handle.garbage.push((epoch, Retired::new(ptr.as_raw())));
@@ -52,7 +58,7 @@ impl<'a> Guard<'a> {
     /// # Safety
     /// Same contract as [`Guard::defer_destroy`].
     pub unsafe fn defer_destroy_with(&self, ptr: *mut u8, free_fn: unsafe fn(*mut u8)) {
-        let handle = self.handle();
+        let handle = unsafe { self.handle() };
         let epoch = handle.global.epoch.load(Ordering::Relaxed);
         counters::incr_garbage(1);
         handle
@@ -68,20 +74,20 @@ impl<'a> Guard<'a> {
     /// Any pointer loaded before `repin` must be re-read afterwards; the
     /// epoch may have advanced and old nodes may be freed.
     pub fn repin(&mut self) {
-        let handle = self.handle();
+        let handle = unsafe { self.handle() };
         handle.unpin_slow();
         handle.pin_slow();
     }
 
     /// Eagerly attempts a collection (tests & shutdown paths).
     pub fn flush(&self) {
-        self.handle().collect();
+        unsafe { self.handle() }.collect();
     }
 }
 
 impl Drop for Guard<'_> {
     fn drop(&mut self) {
-        let handle = self.handle();
+        let handle = unsafe { self.handle() };
         handle.unpin_slow();
         handle.guard_live = false;
     }

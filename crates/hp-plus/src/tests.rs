@@ -273,6 +273,68 @@ fn epoched_hps_are_revoked_lazily() {
 }
 
 #[test]
+fn long_chain_unlinks_keep_spill_pools_bounded() {
+    // Chains longer than the two inline slots spill to pooled vectors; the
+    // pools must recycle them (so long unlinks stop allocating) while never
+    // growing beyond their cap.
+    let d = new_domain();
+    let mut t = d.register();
+    for _ in 0..40 {
+        // head -> n0 -> … -> n5; unlink [n0, n1, n2] (spills the node
+        // buffer) passing frontier [n3, n4, n5] (spills the hp buffer).
+        let nodes: Vec<Shared<Node>> = (0..6)
+            .map(|i| Shared::from_owned(Node::new(10 + i as u64)))
+            .collect();
+        for w in nodes.windows(2) {
+            unsafe { w[0].deref() }.next.store(w[1], Release);
+        }
+        let head = Atomic::from(nodes[0]);
+        let frontier = [nodes[3], nodes[4], nodes[5]];
+        let ok = unsafe {
+            t.try_unlink(&frontier, || {
+                match head.compare_exchange(nodes[0], nodes[3], AcqRel, Acquire) {
+                    Ok(_) => Some(Unlinked::new(nodes[..3].to_vec())),
+                    Err(_) => None,
+                }
+            })
+        };
+        assert!(ok);
+        t.reclaim();
+        let (r, h) = t.spare_pool_sizes();
+        assert!(r <= 8 && h <= 8, "spill pools ballooned: ({r}, {h})");
+        for n in &nodes[3..] {
+            unsafe { n.drop_owned() };
+        }
+    }
+    let (r, h) = t.spare_pool_sizes();
+    assert!(r >= 1 && h >= 1, "spill vectors should be recycled: ({r}, {h})");
+}
+
+#[test]
+fn pair_unlink_is_inline() {
+    // The Pair variant (chain-node + pendant, NMTree-style) uses only the
+    // inline slots: no spill vector is ever taken or pooled.
+    let before = DROPS.load(Relaxed);
+    let d = new_domain();
+    let mut t = d.register();
+    let (head, a, b, c) = chain3();
+
+    let ok = unsafe {
+        t.try_unlink(&[c], || match head.compare_exchange(a, c, AcqRel, Acquire) {
+            Ok(_) => Some(Unlinked::pair(a, b)),
+            Err(_) => None,
+        })
+    };
+    assert!(ok);
+    assert_eq!(t.garbage_count(), 2);
+    t.reclaim();
+    assert_eq!(DROPS.load(Relaxed), before + 2);
+    assert_eq!(t.spare_pool_sizes(), (0, 0), "pair path must not spill");
+
+    unsafe { c.drop_owned() };
+}
+
+#[test]
 fn concurrent_traverse_vs_unlink_stress_no_uaf() {
     // Readers hand-over-hand traverse a 3-node chain with try_protect while
     // an unlinker repeatedly detaches the middle chain and reinserts fresh
@@ -288,7 +350,7 @@ fn concurrent_traverse_vs_unlink_stress_no_uaf() {
         let (h, _a, _b, _c) = chain3();
         let first = h.load(Relaxed);
         head.store(first, Release);
-        std::mem::forget(h);
+        let _ = h; // Atomic has no Drop; the nodes are reclaimed via unlinks
     }
 
     let stop = Arc::new(AtomicBool::new(false));
@@ -312,7 +374,7 @@ fn concurrent_traverse_vs_unlink_stress_no_uaf() {
                 while !cur.is_null() && steps < 16 {
                     let node = unsafe { cur.deref() };
                     let v = node.value;
-                    assert!(v >= 1 && v <= 3, "use-after-free: read {v}");
+                    assert!((1..=3).contains(&v), "use-after-free: read {v}");
                     let mut next = node.next.load(Acquire).with_tag(0);
                     prev = cur;
                     HazardPointer::swap(&mut hp_prev, &mut hp_cur);

@@ -7,22 +7,105 @@ use smr_common::{counters, Retired, Shared};
 use crate::domain::Domain;
 use crate::{periods, Invalidate};
 
+/// How many pooled spill vectors a thread keeps per pool. Beyond this,
+/// returned vectors are dropped: `try_unlink` bursts briefly needing many
+/// in-flight batches must not turn into a permanent per-thread hoard.
+const SPARE_POOL_CAP: usize = 8;
+
+/// Spill vectors whose capacity ballooned past this are dropped instead of
+/// pooled, so one pathological chain can't pin a large allocation forever.
+const SPARE_VEC_MAX_CAPACITY: usize = 1024;
+
+fn pool_take<T>(pool: &mut Vec<Vec<T>>) -> Vec<T> {
+    pool.pop().unwrap_or_default()
+}
+
+fn pool_give<T>(pool: &mut Vec<Vec<T>>, mut v: Vec<T>) {
+    v.clear();
+    if v.capacity() > 0 && v.capacity() <= SPARE_VEC_MAX_CAPACITY && pool.len() < SPARE_POOL_CAP {
+        pool.push(v);
+    }
+}
+
+/// Batch storage with two inline slots, spilling to a pooled `Vec` only for
+/// longer chains. The common unlink frontier and detached chain are 1–2
+/// nodes (every remove in the list structures; chain-node + pendant-leaf in
+/// NMTree), so the steady-state `try_unlink` path never touches the
+/// allocator.
+struct InlineBuf<T> {
+    inline: [Option<T>; 2],
+    spill: Vec<T>,
+}
+
+impl<T> InlineBuf<T> {
+    fn new() -> Self {
+        Self {
+            inline: [None, None],
+            spill: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, value: T, pool: &mut Vec<Vec<T>>) {
+        for slot in &mut self.inline {
+            if slot.is_none() {
+                *slot = Some(value);
+                return;
+            }
+        }
+        if self.spill.capacity() == 0 {
+            self.spill = pool_take(pool);
+        }
+        self.spill.push(value);
+    }
+
+    fn len(&self) -> usize {
+        self.inline.iter().filter(|s| s.is_some()).count() + self.spill.len()
+    }
+
+    fn for_each_ref(&self, mut f: impl FnMut(&T)) {
+        for slot in self.inline.iter().flatten() {
+            f(slot);
+        }
+        for v in &self.spill {
+            f(v);
+        }
+    }
+
+    /// Empties the buffer through `f`, returning any spill vector to `pool`.
+    fn drain_into(&mut self, pool: &mut Vec<Vec<T>>, mut f: impl FnMut(T)) {
+        for slot in &mut self.inline {
+            if let Some(v) = slot.take() {
+                f(v);
+            }
+        }
+        if self.spill.capacity() > 0 {
+            for v in self.spill.drain(..) {
+                f(v);
+            }
+            pool_give(pool, std::mem::take(&mut self.spill));
+        }
+    }
+}
+
 /// A batch of nodes unlinked together by one `try_unlink`, awaiting
 /// invalidation, together with the frontier protections taken for them.
 struct UnlinkBatch {
-    nodes: Vec<Retired>,
+    nodes: InlineBuf<Retired>,
     invalidate: unsafe fn(*mut u8),
-    frontier_hps: Vec<HazardPointer>,
+    frontier_hps: InlineBuf<HazardPointer>,
 }
 
 /// The nodes detached by a successful unlink operation.
 ///
 /// Returned by the `do_unlink` closure of [`Thread::try_unlink`]. The
-/// single-node case (every remove in HMList-style structures) is
-/// allocation-free.
+/// [`Single`](Unlinked::Single) and [`Pair`](Unlinked::Pair) cases — every
+/// remove in HMList-style structures, and chain-node + pendant-leaf in
+/// NMTree — are allocation-free; only longer chains need a `Vec`.
 pub enum Unlinked<T> {
     /// One detached node.
     Single(Shared<T>),
+    /// Two nodes detached by the same CAS.
+    Pair(Shared<T>, Shared<T>),
     /// A detached chain.
     Chain(Vec<Shared<T>>),
 }
@@ -38,9 +121,15 @@ impl<T> Unlinked<T> {
         Self::Single(node)
     }
 
+    /// Two nodes detached together (allocation-free).
+    pub fn pair(first: Shared<T>, second: Shared<T>) -> Self {
+        Self::Pair(first, second)
+    }
+
     fn len(&self) -> usize {
         match self {
             Self::Single(_) => 1,
+            Self::Pair(..) => 2,
             Self::Chain(v) => v.len(),
         }
     }
@@ -48,6 +137,10 @@ impl<T> Unlinked<T> {
     fn for_each(&self, mut f: impl FnMut(Shared<T>)) {
         match self {
             Self::Single(s) => f(*s),
+            Self::Pair(a, b) => {
+                f(*a);
+                f(*b);
+            }
             Self::Chain(v) => v.iter().copied().for_each(f),
         }
     }
@@ -61,14 +154,20 @@ unsafe fn invalidate_erased<T: Invalidate>(ptr: *mut u8) {
 pub struct Thread {
     inner: hp::Thread,
     domain: &'static Domain,
-    /// Algorithm 3's thread-local `unlinkeds`.
+    /// Algorithm 3's thread-local `unlinkeds`. Drained in place, so its
+    /// capacity is reused across invalidation flushes.
     unlinkeds: Vec<UnlinkBatch>,
     /// Algorithm 5's `epoched_hps`: frontier protections awaiting a safe
-    /// (fence-separated) revocation.
+    /// (fence-separated) revocation. Compacted in place via swap-remove.
     epoched_hps: Vec<(u64, HazardPointer)>,
+    /// Staging scratch for `do_invalidation`: protections collected from
+    /// flushed batches before they are stamped with the post-invalidation
+    /// epoch. Persistent so flushes allocate nothing in steady state.
+    pending_hps: Vec<HazardPointer>,
     unlink_count: usize,
-    /// Buffer pools: `try_unlink` runs on every physical deletion, so its
-    /// per-batch vectors are recycled instead of reallocated.
+    /// Bounded spill pools: `try_unlink` runs on every physical deletion,
+    /// so long-chain batches recycle their spill vectors instead of
+    /// reallocating (capped — see [`SPARE_POOL_CAP`]).
     spare_retired_vecs: Vec<Vec<Retired>>,
     spare_hp_vecs: Vec<Vec<HazardPointer>>,
 }
@@ -80,6 +179,7 @@ impl Thread {
             domain,
             unlinkeds: Vec::new(),
             epoched_hps: Vec::new(),
+            pending_hps: Vec::new(),
             unlink_count: 0,
             spare_retired_vecs: Vec::new(),
             spare_hp_vecs: Vec::new(),
@@ -110,6 +210,12 @@ impl Thread {
         self.inner.retire(ptr);
     }
 
+    /// Sizes of the spill-vector pools `(retired, hazard)` — diagnostics
+    /// for the pool-bounding guarantee.
+    pub fn spare_pool_sizes(&self) -> (usize, usize) {
+        (self.spare_retired_vecs.len(), self.spare_hp_vecs.len())
+    }
+
     /// Algorithm 3's `TryUnlink`.
     ///
     /// 1. Protects every pointer in `frontier` (no validation needed — the
@@ -132,18 +238,20 @@ impl Thread {
         frontier: &[Shared<T>],
         do_unlink: impl FnOnce() -> Option<Unlinked<T>>,
     ) -> bool {
-        let mut hps = self.spare_hp_vecs.pop().unwrap_or_default();
+        let mut hps = InlineBuf::new();
         for f in frontier {
             let hp = self.hazard_pointer();
             hp.protect_raw(f.as_raw());
-            hps.push(hp);
+            hps.push(hp, &mut self.spare_hp_vecs);
         }
 
         match do_unlink() {
             Some(unlinked) => {
                 counters::incr_garbage(unlinked.len() as u64);
-                let mut nodes = self.spare_retired_vecs.pop().unwrap_or_default();
-                unlinked.for_each(|s| nodes.push(unsafe { Retired::new(s.as_raw()) }));
+                let mut nodes = InlineBuf::new();
+                unlinked.for_each(|s| {
+                    nodes.push(unsafe { Retired::new(s.as_raw()) }, &mut self.spare_retired_vecs)
+                });
                 self.unlinkeds.push(UnlinkBatch {
                     nodes,
                     invalidate: invalidate_erased::<T>,
@@ -151,18 +259,20 @@ impl Thread {
                 });
                 self.unlink_count += 1;
                 let (invalidate_period, reclaim_period) = periods();
-                if self.unlink_count % reclaim_period == 0 {
+                if self.unlink_count.is_multiple_of(reclaim_period) {
                     self.reclaim();
-                } else if self.unlink_count % invalidate_period == 0 {
+                } else if self.unlink_count.is_multiple_of(invalidate_period) {
                     self.do_invalidation();
                 }
                 true
             }
             None => {
-                for hp in hps.drain(..) {
-                    self.recycle(hp);
-                }
-                self.spare_hp_vecs.push(hps);
+                let Self {
+                    inner,
+                    spare_hp_vecs,
+                    ..
+                } = self;
+                hps.drain_into(spare_hp_vecs, |hp| inner.recycle(hp));
                 false
             }
         }
@@ -173,32 +283,47 @@ impl Thread {
     /// protections in `epoched_hps`, stamped with the current fence epoch.
     /// Protections two epochs old are revoked for free — a heavy fence has
     /// provably passed between (Lemma A.2).
+    ///
+    /// Allocation-free in steady state: batches drain in place and their
+    /// storage returns to the bounded spill pools.
     pub fn do_invalidation(&mut self) {
-        let batches = std::mem::take(&mut self.unlinkeds);
-        let mut fresh_hps = Vec::new();
-        for mut batch in batches {
-            for node in &batch.nodes {
+        let Self {
+            inner,
+            unlinkeds,
+            pending_hps,
+            spare_retired_vecs,
+            spare_hp_vecs,
+            ..
+        } = self;
+        debug_assert!(pending_hps.is_empty());
+        for mut batch in unlinkeds.drain(..) {
+            batch.nodes.for_each_ref(|node| {
                 unsafe { (batch.invalidate)(node.ptr()) };
-            }
-            fresh_hps.append(&mut batch.frontier_hps);
-            self.spare_hp_vecs.push(batch.frontier_hps);
-            for node in batch.nodes.drain(..) {
-                self.inner.push_retired(node);
-            }
-            self.spare_retired_vecs.push(batch.nodes);
+            });
+            batch
+                .frontier_hps
+                .drain_into(spare_hp_vecs, |hp| pending_hps.push(hp));
+            batch
+                .nodes
+                .drain_into(spare_retired_vecs, |node| inner.push_retired(node));
         }
 
+        // The epoch is read *after* the invalidations above, so a parked
+        // protection is only revoked once a heavy fence has separated it
+        // from every invalidation it guards.
         let epoch = self.domain.read_epoch();
-        let mut kept = Vec::with_capacity(self.epoched_hps.len() + fresh_hps.len());
-        for (e, hp) in std::mem::take(&mut self.epoched_hps) {
-            if e + 2 <= epoch {
+        let mut i = 0;
+        while i < self.epoched_hps.len() {
+            if self.epoched_hps[i].0 + 2 <= epoch {
+                let (_, hp) = self.epoched_hps.swap_remove(i);
                 self.inner.recycle(hp);
             } else {
-                kept.push((e, hp));
+                i += 1;
             }
         }
-        kept.extend(fresh_hps.into_iter().map(|hp| (epoch, hp)));
-        self.epoched_hps = kept;
+        let pending = &mut self.pending_hps;
+        self.epoched_hps
+            .extend(pending.drain(..).map(|hp| (epoch, hp)));
     }
 
     /// Algorithm 5's `Reclaim`: flush invalidations, take the retired set,
@@ -206,15 +331,20 @@ impl Thread {
     /// protections, then scan hazards and free the unprotected nodes.
     pub fn reclaim(&mut self) {
         self.do_invalidation();
-        let epoched = std::mem::take(&mut self.epoched_hps);
-        let domain = self.domain;
-        self.inner.reclaim_with_prefence(|| {
+        let Self {
+            inner,
+            domain,
+            epoched_hps,
+            ..
+        } = self;
+        let parked: &[(u64, HazardPointer)] = epoched_hps;
+        inner.reclaim_with_prefence(|| {
             domain.fence_epoch_step();
-            for (_, hp) in &epoched {
+            for (_, hp) in parked {
                 hp.reset();
             }
         });
-        for (_, hp) in epoched {
+        for (_, hp) in self.epoched_hps.drain(..) {
             self.inner.recycle(hp);
         }
     }

@@ -35,9 +35,8 @@ pub(crate) struct HazardArray {
 
 impl HazardArray {
     fn new() -> Self {
-        const SLOT: HazardSlot = HazardSlot::new();
         Self {
-            slots: [SLOT; SLOTS_PER_NODE],
+            slots: std::array::from_fn(|_| HazardSlot::new()),
             next: AtomicPtr::new(std::ptr::null_mut()),
         }
     }
@@ -46,49 +45,54 @@ impl HazardArray {
 /// The global, grow-only list of hazard slots for one domain.
 pub(crate) struct HazardList {
     head: AtomicPtr<HazardArray>,
+    /// Total slots allocated so far, maintained on block push so that
+    /// [`capacity`](HazardList::capacity) is O(1). Reclamation consults the
+    /// capacity on every retire to size its adaptive scan threshold
+    /// (Michael's `R = k·H` rule), so this must not walk the list.
+    len: AtomicUsize,
 }
 
 impl HazardList {
     pub(crate) const fn new() -> Self {
         Self {
             head: AtomicPtr::new(std::ptr::null_mut()),
+            len: AtomicUsize::new(0),
         }
     }
 
     /// Acquires an inactive slot, growing the list if necessary.
     pub(crate) fn acquire(&self) -> *const HazardSlot {
-        loop {
-            let mut cur = self.head.load(Ordering::Acquire);
-            while !cur.is_null() {
-                let arr = unsafe { &*cur };
-                for slot in &arr.slots {
-                    if !slot.active.load(Ordering::Relaxed)
-                        && slot
-                            .active
-                            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
-                            .is_ok()
-                    {
-                        return slot;
-                    }
+        let mut cur = self.head.load(Ordering::Acquire);
+        while !cur.is_null() {
+            let arr = unsafe { &*cur };
+            for slot in &arr.slots {
+                if !slot.active.load(Ordering::Relaxed)
+                    && slot
+                        .active
+                        .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    return slot;
                 }
-                cur = arr.next.load(Ordering::Acquire);
             }
-            // All slots taken: push a fresh block at the head.
-            let block = Box::into_raw(Box::new(HazardArray::new()));
-            let arr = unsafe { &*block };
-            arr.slots[0].active.store(true, Ordering::Relaxed);
-            let mut head = self.head.load(Ordering::Acquire);
-            loop {
-                arr.next.store(head, Ordering::Relaxed);
-                match self.head.compare_exchange(
-                    head,
-                    block,
-                    Ordering::AcqRel,
-                    Ordering::Acquire,
-                ) {
-                    Ok(_) => return &arr.slots[0],
-                    Err(h) => head = h,
+            cur = arr.next.load(Ordering::Acquire);
+        }
+        // All slots taken: push a fresh block at the head.
+        let block = Box::into_raw(Box::new(HazardArray::new()));
+        let arr = unsafe { &*block };
+        arr.slots[0].active.store(true, Ordering::Relaxed);
+        let mut head = self.head.load(Ordering::Acquire);
+        loop {
+            arr.next.store(head, Ordering::Relaxed);
+            match self
+                .head
+                .compare_exchange(head, block, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => {
+                    self.len.fetch_add(SLOTS_PER_NODE, Ordering::Relaxed);
+                    return &arr.slots[0];
                 }
+                Err(h) => head = h,
             }
         }
     }
@@ -108,15 +112,11 @@ impl HazardList {
         }
     }
 
-    /// Total number of slots currently allocated (diagnostics).
+    /// Total number of slots currently allocated. O(1): reads the counter
+    /// maintained by [`acquire`](HazardList::acquire), it does not walk the
+    /// block list (the adaptive reclaim threshold reads this per retire).
     pub(crate) fn capacity(&self) -> usize {
-        let mut n = 0;
-        let mut cur = self.head.load(Ordering::Acquire);
-        while !cur.is_null() {
-            n += SLOTS_PER_NODE;
-            cur = unsafe { &*cur }.next.load(Ordering::Acquire);
-        }
-        n
+        self.len.load(Ordering::Relaxed)
     }
 }
 

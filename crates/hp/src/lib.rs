@@ -53,5 +53,33 @@ pub use domain::{default_domain, Domain};
 pub use hazard::HazardPointer;
 pub use thread::Thread;
 
-/// Retire this many nodes between reclamation attempts (paper §5: 128).
+/// Minimum number of retires between reclamation attempts (paper §5: 128).
+///
+/// The effective trigger is adaptive: a thread scans once its retired bag
+/// reaches `max(RECLAIM_THRESHOLD, k · H)` where `H` is the number of live
+/// hazard slots in the domain and `k` is [`reclaim_k`]. The floor keeps
+/// scans amortized at low thread counts; the `k · H` term is Michael's
+/// `R = H(1 + ε)` rule, which keeps the *per-free* scan cost O(k/(k-1))
+/// instead of degrading as hazard arrays grow with thread count.
 pub const RECLAIM_THRESHOLD: usize = 128;
+
+/// Default `k` of the adaptive reclaim trigger (`R = k · H`): every scan of
+/// `H` hazard slots frees at least `(k-1) · H` nodes, so scan cost per
+/// freed node is bounded by `k/(k-1)` comparisons. 2 balances memory bound
+/// (at most `2H + RECLAIM_THRESHOLD` unreclaimed per thread) against scan
+/// amortization.
+pub const RECLAIM_K: usize = 2;
+
+/// The effective adaptive-threshold multiplier, overridable for ablations
+/// via the `HP_RECLAIM_K` environment variable (read once, at first use).
+pub fn reclaim_k() -> usize {
+    use std::sync::OnceLock;
+    static K: OnceLock<usize> = OnceLock::new();
+    *K.get_or_init(|| {
+        std::env::var("HP_RECLAIM_K")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&k| k > 0)
+            .unwrap_or(RECLAIM_K)
+    })
+}

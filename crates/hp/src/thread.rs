@@ -4,15 +4,26 @@ use smr_common::{counters, fence, Retired};
 
 use crate::domain::Domain;
 use crate::hazard::{HazardPointer, HazardSlot};
-use crate::RECLAIM_THRESHOLD;
+use crate::{reclaim_k, RECLAIM_THRESHOLD};
 
 /// A thread's registration with a [`Domain`].
 ///
-/// Owns the thread's retired bag and a cache of released hazard slots.
+/// Owns the thread's retired bag, a cache of released hazard slots, and the
+/// persistent scan scratch that makes steady-state reclamation
+/// allocation-free: the protected-pointer snapshot and the survivor swap
+/// buffer are reused across scans, so after warm-up `reclaim` touches the
+/// allocator only to *free* garbage, never to bookkeep it.
 pub struct Thread {
     domain: &'static Domain,
     spare: Vec<*const HazardSlot>,
     retired: Vec<Retired>,
+    /// Scan scratch: sorted snapshot of announced pointers. Cleared, never
+    /// shrunk — capacity converges to the domain's hazard-slot count.
+    scan_protected: Vec<usize>,
+    /// Scan scratch: the bag under scan. `retired` is swapped in here at
+    /// scan start and survivors are pushed back, so both vectors keep their
+    /// capacities across cycles.
+    scan_bag: Vec<Retired>,
 }
 
 unsafe impl Send for Thread {}
@@ -23,6 +34,8 @@ impl Thread {
             domain,
             spare: Vec::new(),
             retired: Vec::new(),
+            scan_protected: Vec::new(),
+            scan_bag: Vec::new(),
         }
     }
 
@@ -47,6 +60,16 @@ impl Thread {
         self.spare.push(hp.into_slot());
     }
 
+    /// The current adaptive scan trigger: `max(RECLAIM_THRESHOLD, k · H)`
+    /// where `H` is the domain's hazard-slot count (Michael's `R = k · H`
+    /// rule). Scanning `H` slots frees at least `(k-1)·H` nodes, so the
+    /// per-free scan cost stays O(1) no matter how many threads register;
+    /// the fixed floor keeps single-thread scans amortized too.
+    #[inline]
+    pub fn reclaim_threshold(&self) -> usize {
+        RECLAIM_THRESHOLD.max(reclaim_k() * self.domain.slot_capacity())
+    }
+
     /// Retires `ptr`: the node becomes garbage and is freed by a later
     /// [`reclaim`](Thread::reclaim) once no hazard slot announces it.
     ///
@@ -57,7 +80,7 @@ impl Thread {
     pub unsafe fn retire<T>(&mut self, ptr: *mut T) {
         counters::incr_garbage(1);
         self.retired.push(Retired::new(ptr));
-        if self.retired.len() >= RECLAIM_THRESHOLD {
+        if self.retired.len() >= self.reclaim_threshold() {
             self.reclaim();
         }
     }
@@ -69,7 +92,7 @@ impl Thread {
     pub unsafe fn retire_with(&mut self, ptr: *mut u8, free_fn: unsafe fn(*mut u8)) {
         counters::incr_garbage(1);
         self.retired.push(Retired::with_free(ptr, free_fn));
-        if self.retired.len() >= RECLAIM_THRESHOLD {
+        if self.retired.len() >= self.reclaim_threshold() {
             self.reclaim();
         }
     }
@@ -77,6 +100,13 @@ impl Thread {
     /// Number of nodes retired by this thread and not yet freed.
     pub fn retired_count(&self) -> usize {
         self.retired.len()
+    }
+
+    /// Capacities of the persistent scan scratch `(protected snapshot,
+    /// survivor bag)` — diagnostics for the allocation-free steady-state
+    /// guarantee: once warm, neither capacity changes across scans.
+    pub fn scan_scratch_capacity(&self) -> (usize, usize) {
+        (self.scan_protected.capacity(), self.scan_bag.capacity())
     }
 
     /// Adds an already-counted [`Retired`] record without triggering
@@ -93,25 +123,35 @@ impl Thread {
 
     /// Reclamation with a caller-supplied heavy fence (HP++'s Algorithm 5
     /// replaces the fence with its epoched variant).
+    ///
+    /// Allocation-free in steady state: the hazard snapshot and the bag
+    /// under scan live in per-thread scratch buffers whose capacities are
+    /// reused across calls (growth only while warming up or when the
+    /// domain's hazard array grows).
     pub fn reclaim_with_prefence(&mut self, prefence: impl FnOnce()) {
-        // Adopt orphans so exited threads' garbage is not stranded.
-        if let Some(mut orphans) = self.domain.orphans.try_lock() {
-            self.retired.append(&mut orphans);
-        }
+        // Adopt orphans so exited threads' garbage is not stranded (a
+        // single atomic load when there are none).
+        self.domain.adopt_orphans(&mut self.retired);
         if self.retired.is_empty() {
             prefence();
             return;
         }
-        let rs = std::mem::take(&mut self.retired);
+        debug_assert!(self.scan_bag.is_empty());
+        std::mem::swap(&mut self.retired, &mut self.scan_bag);
         // Orders prior unlinks/retires against the hazard scan below: any
-        // thread that announced one of `rs` before its unlink is visible to
-        // the scan; any thread that announces later will fail validation.
+        // thread that announced one of `scan_bag` before its unlink is
+        // visible to the scan; any thread that announces later will fail
+        // validation.
         prefence();
-        let mut protected = Vec::with_capacity(64);
-        self.domain.hazards.collect_protected(&mut protected);
-        protected.sort_unstable();
-        for r in rs {
-            if protected.binary_search(&(r.ptr() as usize)).is_ok() {
+        self.scan_protected.clear();
+        self.domain.hazards.collect_protected(&mut self.scan_protected);
+        self.scan_protected.sort_unstable();
+        for r in self.scan_bag.drain(..) {
+            if self
+                .scan_protected
+                .binary_search(&(r.ptr() as usize))
+                .is_ok()
+            {
                 self.retired.push(r);
             } else {
                 unsafe { r.free() };
@@ -124,9 +164,7 @@ impl Drop for Thread {
     fn drop(&mut self) {
         // One last attempt, then donate leftovers.
         self.reclaim();
-        if !self.retired.is_empty() {
-            self.domain.orphans.lock().append(&mut self.retired);
-        }
+        self.domain.donate_orphans(&mut self.retired);
         for slot in self.spare.drain(..) {
             drop(HazardPointer::from_slot(slot));
         }
@@ -186,11 +224,27 @@ mod tests {
     fn reclaim_threshold_triggers() {
         let d = new_domain();
         let mut t = d.register();
-        for _ in 0..(RECLAIM_THRESHOLD * 2) {
+        let bound = t.reclaim_threshold() * 2;
+        for _ in 0..bound {
             let p = Box::into_raw(Box::new(0u64));
             unsafe { t.retire(p) };
         }
-        assert!(t.retired_count() < RECLAIM_THRESHOLD * 2);
+        assert!(t.retired_count() < bound);
+    }
+
+    #[test]
+    fn threshold_adapts_to_slot_capacity() {
+        let d = new_domain();
+        let t = d.register();
+        assert_eq!(t.reclaim_threshold(), RECLAIM_THRESHOLD, "floor applies");
+        // Grow the hazard array until k·H dominates the fixed floor.
+        let hps: Vec<_> = (0..RECLAIM_THRESHOLD)
+            .map(|_| d.hazard_pointer())
+            .collect();
+        let k = crate::reclaim_k();
+        assert!(d.slot_capacity() >= RECLAIM_THRESHOLD);
+        assert_eq!(t.reclaim_threshold(), k * d.slot_capacity());
+        drop(hps);
     }
 
     #[test]
@@ -208,6 +262,69 @@ mod tests {
             t.recycle(hp);
         }
         assert_eq!(d.slot_capacity(), cap0);
+    }
+
+    #[test]
+    fn reclaim_scratch_is_allocation_free_in_steady_state() {
+        // Mirrors `recycle_keeps_capacity_flat` for the scan path: after one
+        // warm-up cycle, 100 retire→reclaim cycles must not reallocate the
+        // scan scratch (its capacities — our proxy for "no allocation in
+        // `reclaim_with_prefence`" — stay exactly flat).
+        let d = new_domain();
+        let mut t = d.register();
+        let hp = t.hazard_pointer();
+        hp.protect_raw(0x100 as *mut u64); // a survivor keeps both paths hot
+
+        let churn = |t: &mut Thread| {
+            for _ in 0..64 {
+                let p = Box::into_raw(Box::new(7u64));
+                unsafe { t.retire(p) };
+            }
+            t.reclaim();
+        };
+        churn(&mut t); // warm-up
+        let warm = t.scan_scratch_capacity();
+        assert!(warm.0 > 0 && warm.1 > 0, "scratch warmed: {warm:?}");
+        for cycle in 0..100 {
+            churn(&mut t);
+            assert_eq!(
+                t.scan_scratch_capacity(),
+                warm,
+                "scratch reallocated on cycle {cycle}"
+            );
+        }
+        hp.reset();
+        t.reclaim();
+    }
+
+    #[test]
+    fn adaptive_threshold_bounds_retired_count() {
+        // Stress: concurrent retiring threads (with live hazard slots
+        // inflating H) must each stay within k·H + RECLAIM_THRESHOLD
+        // unreclaimed nodes — the bound the adaptive trigger guarantees.
+        let d = new_domain();
+        let k = crate::reclaim_k();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let mut t = d.register();
+                    let hps: Vec<_> = (0..8).map(|_| t.hazard_pointer()).collect();
+                    for i in 0..20_000u64 {
+                        let p = Box::into_raw(Box::new(i));
+                        unsafe { t.retire(p) };
+                        let bound = k * d.slot_capacity() + RECLAIM_THRESHOLD;
+                        assert!(
+                            t.retired_count() <= bound,
+                            "retired {} exceeds bound {bound}",
+                            t.retired_count()
+                        );
+                    }
+                    for hp in hps {
+                        t.recycle(hp);
+                    }
+                });
+            }
+        });
     }
 
     #[test]
@@ -246,6 +363,62 @@ mod tests {
         t2.reclaim();
         assert_eq!(DROPS.load(Relaxed), 0);
         let _ = words;
+    }
+
+    #[test]
+    fn dead_threads_orphans_are_freed_by_survivor() {
+        // A thread dies with unprotected garbage it never got to scan; a
+        // surviving thread's next reclaim must adopt and free all of it.
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Canary;
+        impl Drop for Canary {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Relaxed);
+            }
+        }
+
+        let d = new_domain();
+        let mut survivor = d.register();
+        // Handshake: the dying thread publishes its pointers, the survivor
+        // protects them all, and only then does the dying thread retire and
+        // exit — so its final reclaim can free nothing and must donate.
+        let (ptr_tx, ptr_rx) = std::sync::mpsc::channel::<Vec<usize>>();
+        let (go_tx, go_rx) = std::sync::mpsc::channel::<()>();
+        let handle = std::thread::spawn(move || {
+            let mut dying = d.register();
+            let ptrs: Vec<usize> = (0..10)
+                .map(|_| Box::into_raw(Box::new(Canary)) as usize)
+                .collect();
+            ptr_tx.send(ptrs.clone()).unwrap();
+            go_rx.recv().unwrap(); // survivor's protections are now up
+            for &p in &ptrs {
+                unsafe { dying.retire(p as *mut Canary) };
+            }
+            // `dying` drops here: its final reclaim sees every node
+            // protected, so all 10 become orphans.
+        });
+        let ptrs = ptr_rx.recv().unwrap();
+        let mut hps = Vec::new();
+        for &p in &ptrs {
+            let hp = survivor.hazard_pointer();
+            hp.protect_raw(p as *mut Canary);
+            hps.push(hp);
+        }
+        go_tx.send(()).unwrap();
+        handle.join().unwrap();
+
+        assert_eq!(DROPS.load(Relaxed), 0, "protected orphans must survive");
+        assert_eq!(d.orphan_count(), 10, "all garbage donated");
+        // Adoption moves the orphans to the survivor without freeing them.
+        survivor.reclaim();
+        assert_eq!(DROPS.load(Relaxed), 0);
+        assert_eq!(survivor.retired_count(), 10, "survivor owns the orphans");
+        assert_eq!(d.orphan_count(), 0, "orphan list drained");
+        for hp in hps {
+            survivor.recycle(hp);
+        }
+        survivor.reclaim();
+        assert_eq!(DROPS.load(Relaxed), 10, "survivor freed every orphan");
     }
 
     #[test]

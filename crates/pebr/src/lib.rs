@@ -196,15 +196,23 @@ pub struct Guard<'a> {
 }
 
 impl Guard<'_> {
+    /// Reborrows the handle the guard exclusively holds.
+    ///
+    /// # Safety
+    /// The returned reference must not outlive the statement that creates
+    /// it, and at most one may be live at a time. The guard exclusively
+    /// borrows the (non-Sync) handle for its whole lifetime, so no other
+    /// reference can exist concurrently.
     #[inline]
-    fn handle(&self) -> &mut LocalHandle {
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn handle(&self) -> &mut LocalHandle {
         unsafe { &mut *self.handle }
     }
 
     /// Whether this critical section is still protective.
     #[inline]
     pub fn is_valid(&self) -> bool {
-        !self.handle().record.ejected.load(Ordering::Acquire)
+        !unsafe { self.handle() }.record.ejected.load(Ordering::Acquire)
     }
 
     /// Retires `ptr`.
@@ -213,7 +221,7 @@ impl Guard<'_> {
     /// Same contract as [`ebr`-style deferred destruction]: unlinked,
     /// retired once, no new accesses.
     pub unsafe fn defer_destroy_inner<T>(&self, ptr: Shared<T>) {
-        let handle = self.handle();
+        let handle = unsafe { self.handle() };
         let epoch = handle.global.epoch.load(Ordering::Relaxed);
         counters::incr_garbage(1);
         handle.garbage.push((epoch, Retired::new(ptr.as_raw())));
@@ -227,7 +235,7 @@ impl Guard<'_> {
     /// # Safety
     /// Same contract as [`Guard::defer_destroy_inner`].
     pub unsafe fn defer_destroy_with(&self, ptr: *mut u8, free_fn: unsafe fn(*mut u8)) {
-        let handle = self.handle();
+        let handle = unsafe { self.handle() };
         let epoch = handle.global.epoch.load(Ordering::Relaxed);
         counters::incr_garbage(1);
         handle
@@ -241,7 +249,7 @@ impl Guard<'_> {
 
 impl Drop for Guard<'_> {
     fn drop(&mut self) {
-        let handle = self.handle();
+        let handle = unsafe { self.handle() };
         handle.unpin_slow();
         handle.guard_live = false;
     }
@@ -274,7 +282,7 @@ impl SchemeGuard for Guard<'_> {
     }
 
     fn refresh(&mut self) {
-        let handle = self.handle();
+        let handle = unsafe { self.handle() };
         handle.unpin_slow();
         handle.record.ejected.store(false, Ordering::Relaxed);
         handle.pin_slow();

@@ -1,0 +1,76 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! The workspace is built in environments without registry access, so the
+//! few `parking_lot` APIs it uses are provided here over `std::sync`
+//! primitives. Semantics differ from the real crate only in that poisoning
+//! is ignored (matching `parking_lot`'s poison-free behavior).
+
+use std::sync::TryLockError;
+
+/// A mutex that ignores poisoning, mirroring `parking_lot::Mutex`.
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+/// Guard type returned by [`Mutex::lock`] / [`Mutex::try_lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex (usable in `const` contexts).
+    pub const fn new(value: T) -> Self {
+        Self(std::sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Attempts to acquire the mutex without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Returns a mutable reference to the underlying data (no locking).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_and_try_lock() {
+        let m = Mutex::new(1);
+        {
+            let mut g = m.lock();
+            *g += 1;
+            assert!(m.try_lock().is_none());
+        }
+        assert_eq!(*m.try_lock().unwrap(), 2);
+    }
+
+    const CONST_OK: Mutex<Vec<u8>> = Mutex::new(Vec::new());
+
+    #[test]
+    fn const_new_works() {
+        assert!(CONST_OK.lock().is_empty());
+    }
+}
