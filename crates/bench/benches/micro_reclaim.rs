@@ -25,12 +25,16 @@ const THREADS: [usize; 3] = [1, 4, 16];
 
 /// Runs `work` on `n` threads and returns the wall time of the parallel
 /// region (started and stopped by barrier handshakes with the measuring
-/// thread).
+/// thread). Workers are pinned round-robin (`SMR_NO_PIN=1` opts out) so
+/// cross-core migration does not add variance to the per-retire numbers.
 fn timed<W: Fn(u64) + Sync>(n: usize, per_thread: u64, work: W) -> std::time::Duration {
     let barrier = Barrier::new(n + 1);
     std::thread::scope(|s| {
-        for _ in 0..n {
-            s.spawn(|| {
+        for tid in 0..n {
+            let barrier = &barrier;
+            let work = &work;
+            s.spawn(move || {
+                bench::pin_thread(tid);
                 barrier.wait();
                 work(per_thread);
                 barrier.wait();

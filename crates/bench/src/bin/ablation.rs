@@ -29,6 +29,10 @@ fn spawn_with_env(sc: &Scenario, envs: &[(&str, &str)]) -> Option<String> {
         &sc.key_range.to_string(),
         "--workload",
         &sc.workload.to_string(),
+        "--zipf",
+        &sc.zipf_theta.to_string(),
+        "--warmup-ms",
+        &sc.warmup.as_millis().to_string(),
         "--duration-ms",
         &sc.duration.as_millis().to_string(),
     ]);
@@ -59,6 +63,8 @@ fn main() {
         threads: cores.min(8),
         key_range: if quick { 1000 } else { 10_000 },
         workload: Workload::ReadWrite,
+        zipf_theta: 0.0,
+        warmup: Duration::ZERO,
         duration,
         long_running: false,
     };

@@ -38,6 +38,8 @@ fn main() {
                             ds.big_range()
                         },
                         workload,
+                        zipf_theta: opts.zipf,
+                        warmup: opts.warmup(),
                         duration: opts.duration(),
                         long_running: false,
                     };

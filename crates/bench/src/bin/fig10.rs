@@ -38,6 +38,8 @@ fn main() {
                 threads: readers,
                 key_range: 1u64 << exp,
                 workload: Workload::ReadMost, // ignored in long-running mode
+                zipf_theta: opts.zipf,
+                warmup: opts.warmup(),
                 duration: opts.duration(),
                 long_running: true,
             };

@@ -24,6 +24,8 @@ fn main() {
                         ds.big_range()
                     },
                     workload: Workload::ReadWrite,
+                    zipf_theta: opts.zipf,
+                    warmup: opts.warmup(),
                     duration: opts.duration(),
                     long_running: false,
                 };

@@ -30,6 +30,8 @@ fn best(
             threads,
             key_range,
             workload: Workload::ReadWrite,
+            zipf_theta: opts.zipf,
+            warmup: opts.warmup(),
             duration: opts.duration(),
             long_running: false,
         };

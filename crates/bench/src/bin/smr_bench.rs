@@ -2,8 +2,13 @@
 //!
 //! ```text
 //! smr_bench --ds hhslist --scheme hp++ --threads 16 --key-range 10000 \
-//!           --workload rw --duration-ms 3000 [--long-running]
+//!           --workload rw --duration-ms 3000 [--zipf <theta>] \
+//!           [--warmup-ms <ms>] [--long-running]
 //! ```
+//!
+//! `--zipf 0` (the default) draws keys uniformly; larger thetas skew the
+//! key stream Zipfian. `--warmup-ms` runs the workload unmeasured before
+//! the timed window. `SMR_NO_PIN=1` disables worker-thread CPU pinning.
 
 use std::time::Duration;
 
@@ -19,7 +24,8 @@ fn arg_value(args: &[String], name: &str) -> Option<String> {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let usage = "usage: smr_bench --ds <ds> --scheme <scheme> --threads <n> \
-                 --key-range <n> --workload <wo|rw|rm> --duration-ms <ms> [--long-running]";
+                 --key-range <n> --workload <wo|rw|rm> --duration-ms <ms> \
+                 [--zipf <theta>] [--warmup-ms <ms>] [--long-running]";
 
     let sc = Scenario {
         ds: arg_value(&args, "--ds")
@@ -42,6 +48,14 @@ fn main() {
             .expect(usage)
             .parse::<Workload>()
             .expect("bad --workload"),
+        zipf_theta: arg_value(&args, "--zipf")
+            .map(|v| v.parse().expect("bad --zipf"))
+            .unwrap_or(0.0),
+        warmup: Duration::from_millis(
+            arg_value(&args, "--warmup-ms")
+                .map(|v| v.parse().expect("bad --warmup-ms"))
+                .unwrap_or(0),
+        ),
         duration: Duration::from_millis(
             arg_value(&args, "--duration-ms")
                 .expect(usage)

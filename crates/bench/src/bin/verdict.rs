@@ -25,19 +25,32 @@ struct Row {
 
 fn load(path: &str) -> Option<Rows> {
     let text = std::fs::read_to_string(path).ok()?;
+    let mut lines = text.lines();
+    // Column positions come from the header, so old CSVs (before the
+    // zipf/warmup/latency columns) and new ones both load.
+    let header: Vec<&str> = lines.next()?.split(',').collect();
+    let col = |name: &str| header.iter().position(|h| *h == name);
+    let (c_ds, c_scheme, c_threads, c_range, c_tp, c_peak) = (
+        col("ds")?,
+        col("scheme")?,
+        col("threads")?,
+        col("key_range")?,
+        col("throughput_mops")?,
+        col("peak_garbage")?,
+    );
     let mut rows = Vec::new();
-    for line in text.lines().skip(1) {
+    for line in lines {
         let f: Vec<&str> = line.split(',').collect();
-        if f.len() < 9 || f[0] == "ds" {
+        if f.len() < header.len() || f[c_ds] == "ds" {
             continue;
         }
         rows.push(Row {
-            ds: f[0].into(),
-            scheme: f[1].into(),
-            threads: f[2].parse().ok()?,
-            key_range: f[3].parse().ok()?,
-            throughput: f[5].parse().ok()?,
-            peak_garbage: f[6].parse().ok()?,
+            ds: f[c_ds].into(),
+            scheme: f[c_scheme].into(),
+            threads: f[c_threads].parse().ok()?,
+            key_range: f[c_range].parse().ok()?,
+            throughput: f[c_tp].parse().ok()?,
+            peak_garbage: f[c_peak].parse().ok()?,
         });
     }
     Some(rows)

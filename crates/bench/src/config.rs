@@ -162,10 +162,15 @@ pub enum Workload {
 impl Workload {
     /// Percentage of get operations.
     pub fn read_pct(self) -> u32 {
+        self.mix_pcts().0
+    }
+
+    /// The full (read, insert, remove) percentage split.
+    pub fn mix_pcts(self) -> (u32, u32, u32) {
         match self {
-            Workload::WriteOnly => 0,
-            Workload::ReadWrite => 50,
-            Workload::ReadMost => 90,
+            Workload::WriteOnly => (0, 50, 50),
+            Workload::ReadWrite => (50, 25, 25),
+            Workload::ReadMost => (90, 5, 5),
         }
     }
 }
@@ -202,10 +207,17 @@ pub struct Scenario {
     pub scheme: Scheme,
     /// Worker thread count.
     pub threads: usize,
-    /// Keys are drawn uniformly from `0..key_range`.
+    /// Keys are drawn from `0..key_range`, Zipfian with exponent
+    /// [`Scenario::zipf_theta`] (`0` = uniform, the paper's methodology).
     pub key_range: u64,
     /// Operation mix.
     pub workload: Workload,
+    /// Zipfian skew of the key stream; `0.0` reproduces the seed harness's
+    /// uniform draws bit-for-bit.
+    pub zipf_theta: f64,
+    /// Warmup window run before measurement starts (ops are executed but
+    /// not counted, timed, or garbage-sampled).
+    pub warmup: Duration,
     /// Measurement duration.
     pub duration: Duration,
     /// Long-running-reader mode (Fig. 10): `threads` readers plus
@@ -216,14 +228,21 @@ pub struct Scenario {
 impl Scenario {
     /// CSV header matching [`Scenario::csv_prefix`] plus the measured
     /// columns of `Stats`.
-    pub const CSV_HEADER: &'static str =
-        "ds,scheme,threads,key_range,workload,throughput_mops,peak_garbage,avg_garbage,peak_rss_mb";
+    pub const CSV_HEADER: &'static str = "ds,scheme,threads,key_range,workload,zipf_theta,\
+         warmup_ms,throughput_mops,peak_garbage,avg_garbage,peak_rss_mb,\
+         p50_ns,p90_ns,p99_ns,p999_ns";
 
     /// The scenario part of a CSV row.
     pub fn csv_prefix(&self) -> String {
         format!(
-            "{},{},{},{},{}",
-            self.ds, self.scheme, self.threads, self.key_range, self.workload
+            "{},{},{},{},{},{},{}",
+            self.ds,
+            self.scheme,
+            self.threads,
+            self.key_range,
+            self.workload,
+            self.zipf_theta,
+            self.warmup.as_millis()
         )
     }
 }
@@ -286,6 +305,10 @@ mod tests {
         ] {
             assert_eq!(w.to_string().parse::<Workload>().unwrap(), w);
             assert_eq!(w.read_pct(), pct);
+            let (r, i, d) = w.mix_pcts();
+            assert_eq!(r, pct);
+            assert_eq!(r + i + d, 100);
+            assert_eq!(i, d, "paper mixes split writes evenly");
         }
         assert_eq!("rw".parse::<Workload>().unwrap(), Workload::ReadWrite);
     }
@@ -314,13 +337,15 @@ mod tests {
             threads: 8,
             key_range: 10_000,
             workload: Workload::ReadWrite,
+            zipf_theta: 0.99,
+            warmup: Duration::from_millis(500),
             duration: Duration::from_secs(1),
             long_running: false,
         };
-        assert_eq!(sc.csv_prefix(), "hhslist,hp++,8,10000,read-write");
+        assert_eq!(sc.csv_prefix(), "hhslist,hp++,8,10000,read-write,0.99,500");
         assert_eq!(
             Scenario::CSV_HEADER.split(',').count(),
-            sc.csv_prefix().split(',').count() + 4
+            sc.csv_prefix().split(',').count() + 8
         );
     }
 }

@@ -8,8 +8,11 @@
 //! experiments called out in DESIGN.md.
 //!
 //! Scenarios follow the paper's methodology: structures prefilled to 50% of
-//! the key range, keys drawn uniformly, fixed-duration runs, throughput in
-//! Mops/s, and garbage metrics sampled at 10 ms.
+//! the key range, fixed-duration runs (with an unmeasured warmup window),
+//! throughput in Mops/s, per-operation latency percentiles from thread-local
+//! log₂ histograms, and garbage metrics sampled at 10 ms. Keys are drawn
+//! uniformly by default; `Scenario::zipf_theta > 0` switches the [`workload`]
+//! engine to a precomputed Zipfian sampler for skewed traffic.
 
 #![warn(missing_docs)]
 
@@ -17,7 +20,9 @@ pub mod config;
 pub mod metrics;
 pub mod orchestrate;
 pub mod runner;
+pub mod workload;
 
 pub use config::{thread_sweep, Ds, Scenario, Scheme, Workload};
-pub use metrics::Stats;
+pub use metrics::{LatencyHistogram, Stats};
 pub use runner::{applicable, run, run_map};
+pub use workload::{pin_thread, Op, OpMix, ZipfSampler};

@@ -1,7 +1,7 @@
-//! Garbage and memory sampling during a measurement window.
+//! Measurement-side plumbing: per-run statistics, allocation-free latency
+//! histograms, and the garbage/RSS sampler.
 
-use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -16,15 +16,95 @@ pub struct Stats {
     pub avg_garbage: u64,
     /// Peak resident set size in MiB.
     pub peak_rss_mb: f64,
+    /// Median per-operation latency (log₂-bucket lower bound, ns).
+    pub p50_ns: u64,
+    /// 90th-percentile per-operation latency (ns).
+    pub p90_ns: u64,
+    /// 99th-percentile per-operation latency (ns).
+    pub p99_ns: u64,
+    /// 99.9th-percentile per-operation latency (ns).
+    pub p999_ns: u64,
 }
 
 impl Stats {
-    /// The measured part of a CSV row.
+    /// The measured part of a CSV row (order matches
+    /// [`crate::config::Scenario::CSV_HEADER`]).
     pub fn csv_suffix(&self) -> String {
         format!(
-            "{:.6},{},{},{:.1}",
-            self.throughput_mops, self.peak_garbage, self.avg_garbage, self.peak_rss_mb
+            "{:.6},{},{},{:.1},{},{},{},{}",
+            self.throughput_mops,
+            self.peak_garbage,
+            self.avg_garbage,
+            self.peak_rss_mb,
+            self.p50_ns,
+            self.p90_ns,
+            self.p99_ns,
+            self.p999_ns
         )
+    }
+}
+
+/// A fixed-size log₂-bucketed latency histogram.
+///
+/// Bucket `i` counts samples with `floor(log2(max(ns, 1))) == i`, i.e.
+/// latencies in `[2^i, 2^(i+1))` ns (bucket 0 additionally holds 0 ns).
+/// Recording is a `leading_zeros` plus one increment into a thread-local
+/// 512-byte array — no allocation, no division, and no shared-cacheline
+/// traffic while measurement runs; per-thread histograms are merged under a
+/// lock only after the stop flag is set.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; 64],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Self { buckets: [0; 64] }
+    }
+
+    /// Records one sample of `ns` nanoseconds.
+    #[inline]
+    pub fn record(&mut self, ns: u64) {
+        let bucket = 63 - (ns | 1).leading_zeros();
+        self.buckets[bucket as usize] += 1;
+    }
+
+    /// Adds every bucket of `other` into `self`.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The `p`-quantile (`0 < p <= 1`), reported as the lower bound `2^i` of
+    /// the bucket containing the `ceil(p·count)`-th smallest sample; 0 if
+    /// the histogram is empty.
+    pub fn percentile_ns(&self, p: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((p * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return 1u64 << i;
+            }
+        }
+        unreachable!("cumulative count must reach total")
     }
 }
 
@@ -42,31 +122,51 @@ fn rss_bytes() -> u64 {
 }
 
 /// Samples the global garbage counter and RSS until stopped.
+///
+/// Shutdown is prompt: `finish()` signals a condvar the sampler waits on
+/// between samples, so it returns within one wakeup rather than a full
+/// `interval` (the seed version slept the whole interval after stop).
 pub struct Sampler {
-    stop: Arc<AtomicBool>,
+    shared: Arc<(Mutex<bool>, Condvar)>,
     handle: JoinHandle<(u64, u64, u64)>,
-    baseline: u64,
 }
 
 impl Sampler {
     /// Starts sampling every `interval`.
     pub fn start(interval: Duration) -> Self {
-        let stop = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new((Mutex::new(false), Condvar::new()));
         let baseline = smr_common::counters::garbage_now();
-        let stop2 = stop.clone();
+        let shared2 = Arc::clone(&shared);
         let handle = std::thread::spawn(move || {
             let mut peak_garbage = 0u64;
             let mut sum_garbage = 0u128;
             let mut samples = 0u64;
             let mut peak_rss = 0u64;
-            while !stop2.load(Relaxed) {
+            let mut take_sample = |peak_garbage: &mut u64, peak_rss: &mut u64| {
                 let g = smr_common::counters::garbage_now().saturating_sub(baseline);
-                peak_garbage = peak_garbage.max(g);
+                *peak_garbage = (*peak_garbage).max(g);
                 sum_garbage += g as u128;
                 samples += 1;
-                peak_rss = peak_rss.max(rss_bytes());
-                std::thread::sleep(interval);
+                *peak_rss = (*peak_rss).max(rss_bytes());
+            };
+            let (stop_flag, wakeup) = &*shared2;
+            let mut stopped = stop_flag.lock().expect("sampler lock poisoned");
+            loop {
+                take_sample(&mut peak_garbage, &mut peak_rss);
+                if *stopped {
+                    break;
+                }
+                let (guard, _) = wakeup
+                    .wait_timeout(stopped, interval)
+                    .expect("sampler lock poisoned");
+                stopped = guard;
+                if *stopped {
+                    // One final sample so the window's tail is covered.
+                    take_sample(&mut peak_garbage, &mut peak_rss);
+                    break;
+                }
             }
+            drop(stopped);
             let avg = if samples > 0 {
                 (sum_garbage / samples as u128) as u64
             } else {
@@ -74,17 +174,14 @@ impl Sampler {
             };
             (peak_garbage, avg, peak_rss)
         });
-        Self {
-            stop,
-            handle,
-            baseline,
-        }
+        Self { shared, handle }
     }
 
     /// Stops sampling; returns (peak garbage, avg garbage, peak RSS bytes).
     pub fn finish(self) -> (u64, u64, u64) {
-        self.stop.store(true, Relaxed);
-        let _ = self.baseline;
+        let (stop_flag, wakeup) = &*self.shared;
+        *stop_flag.lock().expect("sampler lock poisoned") = true;
+        wakeup.notify_all();
         self.handle.join().expect("sampler panicked")
     }
 }
@@ -92,16 +189,21 @@ impl Sampler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Instant;
 
     #[test]
-    fn csv_suffix_has_four_fields() {
+    fn csv_suffix_has_eight_fields() {
         let s = Stats {
             throughput_mops: 1.25,
             peak_garbage: 10,
             avg_garbage: 5,
             peak_rss_mb: 3.5,
+            p50_ns: 128,
+            p90_ns: 256,
+            p99_ns: 1024,
+            p999_ns: 4096,
         };
-        assert_eq!(s.csv_suffix().split(',').count(), 4);
+        assert_eq!(s.csv_suffix().split(',').count(), 8);
     }
 
     #[test]
@@ -113,5 +215,69 @@ mod tests {
         let (peak, _avg, rss) = sampler.finish();
         assert!(peak >= 500, "peak {peak} missed the spike");
         assert!(rss > 0, "rss sampling failed");
+    }
+
+    #[test]
+    fn sampler_shutdown_is_prompt() {
+        // Satellite fix: with a huge interval, finish() must not sleep the
+        // interval out — the condvar wakes the sampler immediately.
+        let sampler = Sampler::start(Duration::from_secs(60));
+        std::thread::sleep(Duration::from_millis(5));
+        let started = Instant::now();
+        let _ = sampler.finish();
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "finish took {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let mut h = LatencyHistogram::new();
+        h.record(0); // bucket 0
+        h.record(1); // bucket 0
+        h.record(2); // bucket 1
+        h.record(3); // bucket 1
+        h.record(1023); // bucket 9
+        h.record(1024); // bucket 10
+        h.record(u64::MAX); // bucket 63
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.buckets[0], 2);
+        assert_eq!(h.buckets[1], 2);
+        assert_eq!(h.buckets[9], 1);
+        assert_eq!(h.buckets[10], 1);
+        assert_eq!(h.buckets[63], 1);
+    }
+
+    #[test]
+    fn histogram_merge_and_exact_percentiles() {
+        // Satellite: known synthetic samples → exact bucket percentiles.
+        // 90 samples at 5 ns (bucket 2 → reported 4) and 10 at 1000 ns
+        // (bucket 9 → reported 512), merged from two thread-local halves.
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for _ in 0..45 {
+            a.record(5);
+            b.record(5);
+        }
+        for _ in 0..5 {
+            a.record(1000);
+            b.record(1000);
+        }
+        let mut merged = LatencyHistogram::new();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged.count(), 100);
+        assert_eq!(merged.percentile_ns(0.50), 4);
+        assert_eq!(merged.percentile_ns(0.90), 4); // rank 90 is still a 5 ns sample
+        assert_eq!(merged.percentile_ns(0.99), 512);
+        assert_eq!(merged.percentile_ns(0.999), 512);
+        assert_eq!(merged.percentile_ns(1.0), 512);
+    }
+
+    #[test]
+    fn empty_histogram_percentile_is_zero() {
+        assert_eq!(LatencyHistogram::new().percentile_ns(0.99), 0);
     }
 }

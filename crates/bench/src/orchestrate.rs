@@ -16,16 +16,26 @@ pub struct Opts {
     /// Run scenarios in-process instead of spawning `smr_bench`
     /// (faster, but garbage counters bleed across scenarios).
     pub in_process: bool,
+    /// Zipfian skew of the key stream (`--zipf <theta>`, default 0 =
+    /// uniform, the paper's methodology).
+    pub zipf: f64,
 }
 
 impl Opts {
     /// Parses the standard flags from `std::env::args`.
     pub fn parse() -> Self {
         let args: Vec<String> = std::env::args().collect();
+        let zipf = args
+            .iter()
+            .position(|a| a == "--zipf")
+            .and_then(|i| args.get(i + 1))
+            .map(|v| v.parse().expect("bad --zipf"))
+            .unwrap_or(0.0);
         Self {
             quick: args.iter().any(|a| a == "--quick"),
             paper: args.iter().any(|a| a == "--paper"),
             in_process: args.iter().any(|a| a == "--in-process"),
+            zipf,
         }
     }
 
@@ -37,6 +47,18 @@ impl Opts {
             Duration::from_millis(300)
         } else {
             Duration::from_secs(3)
+        }
+    }
+
+    /// Warmup window per scenario (excluded from measurement). Zero in
+    /// quick mode so CI sweeps stay fast.
+    pub fn warmup(&self) -> Duration {
+        if self.paper {
+            Duration::from_secs(2)
+        } else if self.quick {
+            Duration::ZERO
+        } else {
+            Duration::from_millis(500)
         }
     }
 }
@@ -68,6 +90,10 @@ pub fn run_scenario(sc: &Scenario, opts: &Opts) -> Option<Stats> {
             &sc.key_range.to_string(),
             "--workload",
             &sc.workload.to_string(),
+            "--zipf",
+            &sc.zipf_theta.to_string(),
+            "--warmup-ms",
+            &sc.warmup.as_millis().to_string(),
             "--duration-ms",
             &sc.duration.as_millis().to_string(),
         ])
@@ -91,17 +117,22 @@ pub fn run_scenario(sc: &Scenario, opts: &Opts) -> Option<Stats> {
 }
 
 fn parse_csv_line(line: &str) -> Option<Stats> {
-    // ds,scheme,threads,key_range,workload,mops,peak,avg,rss
+    // Layout per Scenario::CSV_HEADER: 7 scenario fields, then
+    // mops,peak,avg,rss,p50,p90,p99,p999.
     let fields: Vec<&str> = line.split(',').collect();
-    if fields.len() != 9 {
+    if fields.len() != Scenario::CSV_HEADER.split(',').count() {
         eprintln!("malformed smr_bench output: {line}");
         return None;
     }
     Some(Stats {
-        throughput_mops: fields[5].parse().ok()?,
-        peak_garbage: fields[6].parse().ok()?,
-        avg_garbage: fields[7].parse().ok()?,
-        peak_rss_mb: fields[8].parse().ok()?,
+        throughput_mops: fields[7].parse().ok()?,
+        peak_garbage: fields[8].parse().ok()?,
+        avg_garbage: fields[9].parse().ok()?,
+        peak_rss_mb: fields[10].parse().ok()?,
+        p50_ns: fields[11].parse().ok()?,
+        p90_ns: fields[12].parse().ok()?,
+        p99_ns: fields[13].parse().ok()?,
+        p999_ns: fields[14].parse().ok()?,
     })
 }
 
@@ -118,5 +149,46 @@ pub fn emit(name: &str, sc: &Scenario, stats: &Stats) {
             let _ = writeln!(f, "{}", Scenario::CSV_HEADER);
         }
         let _ = writeln!(f, "{row}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Ds, Scheme, Workload};
+
+    #[test]
+    fn csv_line_roundtrips_through_parse() {
+        let sc = Scenario {
+            ds: Ds::HashMap,
+            scheme: Scheme::Hpp,
+            threads: 4,
+            key_range: 1000,
+            workload: Workload::ReadMost,
+            zipf_theta: 0.99,
+            warmup: Duration::from_millis(100),
+            duration: Duration::from_secs(1),
+            long_running: false,
+        };
+        let stats = Stats {
+            throughput_mops: 2.5,
+            peak_garbage: 100,
+            avg_garbage: 40,
+            peak_rss_mb: 12.0,
+            p50_ns: 256,
+            p90_ns: 512,
+            p99_ns: 2048,
+            p999_ns: 16384,
+        };
+        let line = format!("{},{}", sc.csv_prefix(), stats.csv_suffix());
+        let parsed = parse_csv_line(&line).expect("roundtrip parse");
+        assert_eq!(parsed.throughput_mops, stats.throughput_mops);
+        assert_eq!(parsed.peak_garbage, stats.peak_garbage);
+        assert_eq!(parsed.p999_ns, stats.p999_ns);
+    }
+
+    #[test]
+    fn short_lines_are_rejected() {
+        assert!(parse_csv_line("a,b,c").is_none());
     }
 }

@@ -1,14 +1,31 @@
-//! The scenario runner: prefill, timed mixed workload, metric collection.
+//! The scenario runner: prefill, warmup, timed mixed workload, metric
+//! collection.
+//!
+//! The measured hot loop is deliberately lean (see DESIGN.md §3 "Workload
+//! engine"): key draws come from a precomputed [`ZipfSampler`] (one RNG
+//! call, at most one table lookup, no division), operation selection from a
+//! precomputed [`OpMix`] table (one RNG call, one 256-entry lookup, no
+//! modulo), and latency recording writes into a thread-local stack array
+//! (no allocation, no shared-cacheline traffic). Worker threads are pinned
+//! round-robin unless `SMR_NO_PIN=1`.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering::Relaxed};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
+use smr_common::time::mono_ns;
 use smr_common::ConcurrentMap;
 
 use crate::config::{Ds, Scenario, Scheme};
-use crate::metrics::{Sampler, Stats};
+use crate::metrics::{LatencyHistogram, Sampler, Stats};
+use crate::workload::{pin_thread, Op, OpMix, ZipfSampler};
+
+/// Phase machine paced by the main thread: warmup → measure → stop.
+const PHASE_WARMUP: u8 = 0;
+const PHASE_MEASURE: u8 = 1;
+const PHASE_STOP: u8 = 2;
 
 /// Runs one scenario against a concrete map type.
 pub fn run_map<M>(sc: &Scenario) -> Stats
@@ -54,6 +71,22 @@ where
     });
 }
 
+/// Paces warmup → measure → stop from the scope's main thread; returns
+/// (elapsed measured seconds, (peak garbage, avg garbage, peak RSS)).
+///
+/// The garbage/RSS sampler only runs during the measurement window, so
+/// warmup churn does not pollute the peak columns.
+fn pace_phases(phase: &AtomicU8, warmup: Duration, duration: Duration) -> (f64, (u64, u64, u64)) {
+    std::thread::sleep(warmup);
+    phase.store(PHASE_MEASURE, Relaxed);
+    let sampler = Sampler::start(Duration::from_millis(10));
+    let started = Instant::now();
+    std::thread::sleep(duration);
+    phase.store(PHASE_STOP, Relaxed);
+    let elapsed = started.elapsed().as_secs_f64();
+    (elapsed, sampler.finish())
+}
+
 fn run_mixed<M>(sc: &Scenario) -> Stats
 where
     M: ConcurrentMap<u64, u64> + Send + Sync,
@@ -61,61 +94,94 @@ where
     let map = M::new();
     prefill(&map, sc.key_range);
 
-    let stop = AtomicBool::new(false);
+    let keys = ZipfSampler::new(sc.key_range, sc.zipf_theta);
+    let mix = OpMix::for_workload(sc.workload);
+    let phase = AtomicU8::new(PHASE_WARMUP);
     let total_ops = AtomicU64::new(0);
-    let sampler = Sampler::start(Duration::from_millis(10));
-    let started = Instant::now();
+    let latencies = Mutex::new(LatencyHistogram::new());
+    let mut elapsed = 0.0f64;
+    let mut garbage = (0u64, 0u64, 0u64);
 
     std::thread::scope(|s| {
         for tid in 0..sc.threads {
             let map = &map;
-            let stop = &stop;
+            let keys = &keys;
+            let mix = &mix;
+            let phase = &phase;
             let total_ops = &total_ops;
-            let sc = sc.clone();
+            let latencies = &latencies;
             s.spawn(move || {
+                pin_thread(tid);
                 let mut h = map.handle();
                 let mut rng = SmallRng::seed_from_u64(0x5EED ^ tid as u64);
-                let mut ops = 0u64;
-                while !stop.load(Relaxed) {
+                // Warmup: same op stream, nothing recorded.
+                while phase.load(Relaxed) == PHASE_WARMUP {
                     for _ in 0..64 {
-                        let key = rng.gen_range(0..sc.key_range);
-                        let dice = rng.gen_range(0..100);
-                        if dice < sc.workload.read_pct() {
-                            std::hint::black_box(map.get(&mut h, &key));
-                        } else if dice % 2 == 0 {
-                            std::hint::black_box(map.insert(&mut h, key, key));
-                        } else {
-                            std::hint::black_box(map.remove(&mut h, &key));
+                        let key = keys.sample(&mut rng);
+                        match mix.pick(rng.next_u64()) {
+                            Op::Get => {
+                                std::hint::black_box(map.get(&mut h, &key));
+                            }
+                            Op::Insert => {
+                                std::hint::black_box(map.insert(&mut h, key, key));
+                            }
+                            Op::Remove => {
+                                std::hint::black_box(map.remove(&mut h, &key));
+                            }
                         }
+                    }
+                }
+                // Measured hot loop: no division/modulo for key or op
+                // selection, no allocation, latency into a stack-local
+                // histogram.
+                let mut ops = 0u64;
+                let mut hist = LatencyHistogram::new();
+                while phase.load(Relaxed) != PHASE_STOP {
+                    for _ in 0..64 {
+                        let key = keys.sample(&mut rng);
+                        let op = mix.pick(rng.next_u64());
+                        let t0 = mono_ns();
+                        match op {
+                            Op::Get => {
+                                std::hint::black_box(map.get(&mut h, &key));
+                            }
+                            Op::Insert => {
+                                std::hint::black_box(map.insert(&mut h, key, key));
+                            }
+                            Op::Remove => {
+                                std::hint::black_box(map.remove(&mut h, &key));
+                            }
+                        }
+                        hist.record(mono_ns().saturating_sub(t0));
                         ops += 1;
                     }
                 }
                 total_ops.fetch_add(ops, Relaxed);
+                latencies.lock().expect("histogram lock").merge(&hist);
             });
         }
-        // Timer thread.
-        let stop = &stop;
-        let duration = sc.duration;
-        s.spawn(move || {
-            std::thread::sleep(duration);
-            stop.store(true, Relaxed);
-        });
+        (elapsed, garbage) = pace_phases(&phase, sc.warmup, sc.duration);
     });
 
-    let elapsed = started.elapsed().as_secs_f64();
-    let (peak_garbage, avg_garbage, peak_rss) = sampler.finish();
+    let (peak_garbage, avg_garbage, peak_rss) = garbage;
+    let hist = latencies.into_inner().expect("histogram lock");
     Stats {
         throughput_mops: total_ops.load(Relaxed) as f64 / elapsed / 1e6,
         peak_garbage,
         avg_garbage,
         peak_rss_mb: peak_rss as f64 / (1024.0 * 1024.0),
+        p50_ns: hist.percentile_ns(0.50),
+        p90_ns: hist.percentile_ns(0.90),
+        p99_ns: hist.percentile_ns(0.99),
+        p999_ns: hist.percentile_ns(0.999),
     }
 }
 
 /// Fig. 10: long-running read operations under heavy reclamation.
 /// `sc.threads` readers issue `get`s over the whole (large) key range while
 /// the same number of writers churn insert/remove over a small hot region
-/// near the head. Throughput counts completed reads only.
+/// near the head. Throughput and latency percentiles count completed reads
+/// only.
 fn run_long_running<M>(sc: &Scenario) -> Stats
 where
     M: ConcurrentMap<u64, u64> + Send + Sync,
@@ -132,36 +198,50 @@ where
         }
     }
 
-    let stop = AtomicBool::new(false);
+    let keys = ZipfSampler::new(sc.key_range, sc.zipf_theta);
+    let phase = AtomicU8::new(PHASE_WARMUP);
     let read_ops = AtomicU64::new(0);
-    let sampler = Sampler::start(Duration::from_millis(10));
-    let started = Instant::now();
+    let latencies = Mutex::new(LatencyHistogram::new());
+    let mut elapsed = 0.0f64;
+    let mut garbage = (0u64, 0u64, 0u64);
 
     std::thread::scope(|s| {
         for tid in 0..sc.threads {
             let map = &map;
-            let stop = &stop;
+            let keys = &keys;
+            let phase = &phase;
             let read_ops = &read_ops;
-            let key_range = sc.key_range;
+            let latencies = &latencies;
             s.spawn(move || {
+                pin_thread(tid);
                 let mut h = map.handle();
                 let mut rng = SmallRng::seed_from_u64(0xBEEF ^ tid as u64);
-                let mut ops = 0u64;
-                while !stop.load(Relaxed) {
-                    let key = rng.gen_range(0..key_range);
+                while phase.load(Relaxed) == PHASE_WARMUP {
+                    let key = keys.sample(&mut rng);
                     std::hint::black_box(map.get(&mut h, &key));
+                }
+                let mut ops = 0u64;
+                let mut hist = LatencyHistogram::new();
+                while phase.load(Relaxed) != PHASE_STOP {
+                    let key = keys.sample(&mut rng);
+                    let t0 = mono_ns();
+                    std::hint::black_box(map.get(&mut h, &key));
+                    hist.record(mono_ns().saturating_sub(t0));
                     ops += 1;
                 }
                 read_ops.fetch_add(ops, Relaxed);
+                latencies.lock().expect("histogram lock").merge(&hist);
             });
         }
         for tid in 0..sc.threads {
             let map = &map;
-            let stop = &stop;
+            let phase = &phase;
+            let writer_slot = sc.threads + tid;
             s.spawn(move || {
+                pin_thread(writer_slot);
                 let mut h = map.handle();
                 let mut rng = SmallRng::seed_from_u64(0xF00D ^ tid as u64);
-                while !stop.load(Relaxed) {
+                while phase.load(Relaxed) != PHASE_STOP {
                     // Head churn: push/pop small keys to force reclamation.
                     let key = rng.gen_range(0..64);
                     map.insert(&mut h, key, key);
@@ -169,21 +249,20 @@ where
                 }
             });
         }
-        let stop = &stop;
-        let duration = sc.duration;
-        s.spawn(move || {
-            std::thread::sleep(duration);
-            stop.store(true, Relaxed);
-        });
+        (elapsed, garbage) = pace_phases(&phase, sc.warmup, sc.duration);
     });
 
-    let elapsed = started.elapsed().as_secs_f64();
-    let (peak_garbage, avg_garbage, peak_rss) = sampler.finish();
+    let (peak_garbage, avg_garbage, peak_rss) = garbage;
+    let hist = latencies.into_inner().expect("histogram lock");
     Stats {
         throughput_mops: read_ops.load(Relaxed) as f64 / elapsed / 1e6,
         peak_garbage,
         avg_garbage,
         peak_rss_mb: peak_rss as f64 / (1024.0 * 1024.0),
+        p50_ns: hist.percentile_ns(0.50),
+        p90_ns: hist.percentile_ns(0.90),
+        p99_ns: hist.percentile_ns(0.99),
+        p999_ns: hist.percentile_ns(0.999),
     }
 }
 
@@ -270,5 +349,63 @@ pub fn run(sc: &Scenario) -> Option<Stats> {
             Scheme::Hpp => Some(run_map::<hpp::BonsaiTree<u64, u64>>(sc)),
             _ => None,
         }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    /// Table-driven encoding of the paper's Table 2 inapplicability gaps:
+    /// HP cannot field the optimistic-traversal structures, and CDRC is
+    /// implemented only for the list-shaped ones (matching the paper's own
+    /// RC omissions). Everything else must stay applicable.
+    #[test]
+    fn applicable_matches_paper_table2() {
+        let gaps = [
+            (Ds::HHSList, Scheme::Hp),
+            (Ds::NMTree, Scheme::Hp),
+            (Ds::SkipList, Scheme::Rc),
+            (Ds::NMTree, Scheme::Rc),
+            (Ds::EFRBTree, Scheme::Rc),
+            (Ds::BonsaiTree, Scheme::Rc),
+        ];
+        for ds in Ds::ALL {
+            for scheme in Scheme::ALL {
+                let expected = !gaps.contains(&(ds, scheme));
+                assert_eq!(
+                    applicable(ds, scheme),
+                    expected,
+                    "({ds}, {scheme}) should be {}",
+                    if expected { "applicable" } else { "a gap" }
+                );
+            }
+        }
+        // The headline asymmetry: HP++ covers every structure.
+        assert!(Ds::ALL.iter().all(|&ds| applicable(ds, Scheme::Hpp)));
+    }
+
+    /// End-to-end smoke run exercising warmup, skewed keys, and the latency
+    /// pipeline on the cheapest scheme.
+    #[test]
+    fn mixed_run_reports_latency_percentiles() {
+        let sc = Scenario {
+            ds: Ds::HMList,
+            scheme: Scheme::Ebr,
+            threads: 2,
+            key_range: 64,
+            workload: crate::config::Workload::ReadWrite,
+            zipf_theta: 0.99,
+            warmup: Duration::from_millis(20),
+            duration: Duration::from_millis(60),
+            long_running: false,
+        };
+        let stats = run(&sc).expect("ebr applies to hmlist");
+        assert!(stats.throughput_mops > 0.0);
+        assert!(stats.p50_ns > 0, "median latency must be recorded");
+        assert!(stats.p50_ns <= stats.p90_ns);
+        assert!(stats.p90_ns <= stats.p99_ns);
+        assert!(stats.p99_ns <= stats.p999_ns);
     }
 }

@@ -15,6 +15,8 @@
 //! * [`map`] — the [`ConcurrentMap`] trait every
 //!   benchmarked structure implements, plus the [`GuardedScheme`]
 //!   abstraction shared by the guard-based schemes (NR, EBR, PEBR).
+//! * [`time`] — a minimal monotonic-nanosecond clock used by the benchmark
+//!   harness's per-operation latency recording.
 
 #![warn(missing_docs)]
 
@@ -24,6 +26,7 @@ pub mod fence;
 pub mod map;
 pub mod retired;
 pub mod tagged;
+pub mod time;
 pub mod util;
 
 pub use atomic::{Atomic, Shared};

@@ -1,0 +1,33 @@
+//! Tiny monotonic-clock helper shared by the benchmark harness.
+//!
+//! The workload engine timestamps every operation, so the helper keeps the
+//! per-call footprint minimal: a single process-wide [`Instant`] epoch
+//! (initialized on first use) and a `u64` nanosecond offset from it. A
+//! `u64` of nanoseconds spans ~584 years, so wrapping is not a concern.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the first call to this function (process-wide,
+/// monotonic). The first call returns a value close to zero.
+#[inline]
+pub fn mono_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_and_advancing() {
+        let a = mono_ns();
+        let b = mono_ns();
+        assert!(b >= a);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let c = mono_ns();
+        assert!(c >= b + 1_000_000, "2 ms sleep advanced {} ns", c - b);
+    }
+}

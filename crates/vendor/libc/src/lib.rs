@@ -1,17 +1,23 @@
 //! Offline stand-in for the `libc` crate.
 //!
-//! Declares only what this workspace needs: the C integer types and the
+//! Declares only what this workspace needs: the C integer types, the
 //! variadic `syscall(2)` entry point (resolved against the system C library
-//! that `std` already links), plus the `SYS_membarrier` number for the
-//! architectures we build on. Everything matches the real `libc` crate's
-//! definitions, so swapping the real crate back in is a no-op.
+//! that `std` already links), the `SYS_membarrier` number for the
+//! architectures we build on, and the `sched_setaffinity(2)` surface
+//! (`cpu_set_t` + `CPU_*` helpers) used by the benchmark harness for thread
+//! pinning. Everything matches the real `libc` crate's definitions, so
+//! swapping the real crate back in is a no-op.
 
-#![allow(non_camel_case_types, non_upper_case_globals)]
+#![allow(non_camel_case_types, non_upper_case_globals, non_snake_case)]
 
 /// C `int`.
 pub type c_int = i32;
 /// C `long` (LP64 on every Linux target we build).
 pub type c_long = i64;
+/// POSIX process identifier.
+pub type pid_t = i32;
+/// C `size_t`.
+pub type size_t = usize;
 
 /// `membarrier(2)` syscall number.
 #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
@@ -23,10 +29,49 @@ pub const SYS_membarrier: c_long = 283;
 #[cfg(all(target_os = "linux", target_arch = "riscv64"))]
 pub const SYS_membarrier: c_long = 283;
 
+/// The CPU-affinity bit set of `sched_setaffinity(2)` — 1024 bits, matching
+/// glibc's `cpu_set_t` layout exactly.
+#[cfg(target_os = "linux")]
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct cpu_set_t {
+    bits: [u64; 16],
+}
+
+/// Clears every CPU in `cpuset` (glibc's `CPU_ZERO` macro).
+#[cfg(target_os = "linux")]
+#[inline]
+pub fn CPU_ZERO(cpuset: &mut cpu_set_t) {
+    cpuset.bits = [0; 16];
+}
+
+/// Adds `cpu` to `cpuset` (glibc's `CPU_SET` macro). Out-of-range CPUs are
+/// ignored, like the real macro's silent truncation.
+#[cfg(target_os = "linux")]
+#[inline]
+pub fn CPU_SET(cpu: usize, cpuset: &mut cpu_set_t) {
+    if cpu < 1024 {
+        cpuset.bits[cpu / 64] |= 1 << (cpu % 64);
+    }
+}
+
+/// Tests whether `cpu` is in `cpuset` (glibc's `CPU_ISSET` macro).
+#[cfg(target_os = "linux")]
+#[inline]
+pub fn CPU_ISSET(cpu: usize, cpuset: &cpu_set_t) -> bool {
+    cpu < 1024 && cpuset.bits[cpu / 64] & (1 << (cpu % 64)) != 0
+}
+
 #[cfg(target_os = "linux")]
 extern "C" {
     /// The C library's variadic `syscall(2)` wrapper.
     pub fn syscall(num: c_long, ...) -> c_long;
+
+    /// Pins thread `pid` (0 = calling thread) to the CPUs in `cpuset`.
+    pub fn sched_setaffinity(pid: pid_t, cpusetsize: size_t, cpuset: *const cpu_set_t) -> c_int;
+
+    /// Reads the affinity mask of thread `pid` (0 = calling thread).
+    pub fn sched_getaffinity(pid: pid_t, cpusetsize: size_t, cpuset: *mut cpu_set_t) -> c_int;
 }
 
 #[cfg(all(test, target_os = "linux"))]
@@ -39,5 +84,30 @@ mod tests {
         // both are fine — we only check the call plumbing works.
         let r = unsafe { syscall(SYS_membarrier, 0 as c_int, 0 as c_int) };
         assert!(r >= -1);
+    }
+
+    #[test]
+    fn cpu_set_bit_algebra() {
+        let mut set: cpu_set_t = unsafe { std::mem::zeroed() };
+        CPU_ZERO(&mut set);
+        assert!(!CPU_ISSET(0, &set));
+        CPU_SET(0, &mut set);
+        CPU_SET(63, &mut set);
+        CPU_SET(64, &mut set);
+        CPU_SET(5000, &mut set); // out of range: ignored
+        assert!(CPU_ISSET(0, &set) && CPU_ISSET(63, &set) && CPU_ISSET(64, &set));
+        assert!(!CPU_ISSET(1, &set) && !CPU_ISSET(5000, &set));
+        assert_eq!(std::mem::size_of::<cpu_set_t>(), 128, "glibc layout");
+    }
+
+    #[test]
+    fn setaffinity_roundtrip_on_current_mask() {
+        // Re-applying the current mask must succeed (pure plumbing check —
+        // does not change the schedulable set).
+        let mut set: cpu_set_t = unsafe { std::mem::zeroed() };
+        let got = unsafe { sched_getaffinity(0, std::mem::size_of::<cpu_set_t>(), &mut set) };
+        assert_eq!(got, 0, "sched_getaffinity failed");
+        let put = unsafe { sched_setaffinity(0, std::mem::size_of::<cpu_set_t>(), &set) };
+        assert_eq!(put, 0, "sched_setaffinity failed");
     }
 }
