@@ -9,10 +9,21 @@
 //!   each thread unlinks single nodes through `try_unlink`, exercising the
 //!   inline batch storage, the deferred invalidation flush, and the epoched
 //!   reclamation.
+//! * `reclaim/ebr/{1,4,16}` — EBR retire throughput: each thread pins,
+//!   retires one node, and unpins, so the number folds in the pin/unpin
+//!   fence cost, the generation-bag push, and the periodic epoch
+//!   advance + bag expiry at the collect threshold.
+//! * `reclaim/nr/{1,4,16}` — the no-reclamation floor: the same loop with
+//!   leak-everything retirement, isolating allocator + harness cost.
+//! * `pin/ebr/{1,4,16}` — pure pin/unpin cycles with no retirement: the
+//!   EBR hot path the asymmetric-fence optimization targets. Run with and
+//!   without `SMR_NO_MEMBARRIER=1` to price the light fence against the
+//!   symmetric `SeqCst` fallback.
 //!
-//! Reported per-iteration time is per retire (resp. per unlink), with the
-//! periodic scans folded in. Knobs: `HP_RECLAIM_K`, `HPP_INVALIDATE_PERIOD`,
-//! `HPP_RECLAIM_PERIOD`.
+//! Reported per-iteration time is per retire (resp. per unlink, per pin),
+//! with the periodic scans folded in. Knobs: `HP_RECLAIM_K`,
+//! `HPP_INVALIDATE_PERIOD`, `HPP_RECLAIM_PERIOD`, `EBR_COLLECT_THRESHOLD`,
+//! `SMR_NO_MEMBARRIER`.
 
 use std::sync::atomic::Ordering::{AcqRel, Acquire, Release};
 use std::sync::Barrier;
@@ -110,9 +121,70 @@ fn bench_hpp(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_ebr(c: &mut Criterion) {
+    let collector: &'static ebr::Collector = Box::leak(Box::new(ebr::Collector::new()));
+    let mut g = c.benchmark_group("reclaim/ebr");
+    for &n in &THREADS {
+        g.bench_function(&n.to_string(), |b| {
+            b.iter_custom(|iters| {
+                let per = iters.div_ceil(n as u64);
+                timed(n, per, |per| {
+                    let mut h = collector.register();
+                    for i in 0..per {
+                        let guard = h.pin();
+                        let node = Shared::from_owned(i);
+                        unsafe { guard.defer_destroy(node) };
+                    }
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_nr(c: &mut Criterion) {
+    use smr_common::{GuardedScheme, SchemeGuard};
+    let mut g = c.benchmark_group("reclaim/nr");
+    for &n in &THREADS {
+        g.bench_function(&n.to_string(), |b| {
+            b.iter_custom(|iters| {
+                let per = iters.div_ceil(n as u64);
+                timed(n, per, |per| {
+                    for i in 0..per {
+                        let guard = nr::Nr::pin(&mut nr::Nr::handle());
+                        let node = Shared::from_owned(i);
+                        unsafe { guard.defer_destroy(node) };
+                    }
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_ebr_pin(c: &mut Criterion) {
+    let collector: &'static ebr::Collector = Box::leak(Box::new(ebr::Collector::new()));
+    let mut g = c.benchmark_group("pin/ebr");
+    for &n in &THREADS {
+        g.bench_function(&n.to_string(), |b| {
+            b.iter_custom(|iters| {
+                let per = iters.div_ceil(n as u64);
+                timed(n, per, |per| {
+                    let mut h = collector.register();
+                    for _ in 0..per {
+                        let guard = h.pin();
+                        criterion::black_box(&guard);
+                    }
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(1));
-    targets = bench_hp, bench_hpp
+    targets = bench_hp, bench_hpp, bench_ebr, bench_nr, bench_ebr_pin
 }
 criterion_main!(benches);

@@ -5,7 +5,7 @@ use std::sync::atomic::Ordering;
 
 use smr_common::{counters, Retired, Shared};
 
-use crate::collector::{LocalHandle, COLLECT_THRESHOLD};
+use crate::collector::LocalHandle;
 
 /// An active EBR critical section.
 ///
@@ -47,8 +47,8 @@ impl<'a> Guard<'a> {
         let handle = unsafe { self.handle() };
         let epoch = handle.global.epoch.load(Ordering::Relaxed);
         counters::incr_garbage(1);
-        handle.garbage.push((epoch, Retired::new(ptr.as_raw())));
-        if handle.garbage.len() >= COLLECT_THRESHOLD {
+        handle.bags.push(epoch, unsafe { Retired::new(ptr.as_raw()) });
+        if handle.bags.len() >= handle.global.collect_threshold() {
             handle.collect();
         }
     }
@@ -62,9 +62,9 @@ impl<'a> Guard<'a> {
         let epoch = handle.global.epoch.load(Ordering::Relaxed);
         counters::incr_garbage(1);
         handle
-            .garbage
-            .push((epoch, Retired::with_free(ptr, free_fn)));
-        if handle.garbage.len() >= COLLECT_THRESHOLD {
+            .bags
+            .push(epoch, unsafe { Retired::with_free(ptr, free_fn) });
+        if handle.bags.len() >= handle.global.collect_threshold() {
             handle.collect();
         }
     }
@@ -174,6 +174,115 @@ mod tests {
     }
 
     #[test]
+    fn nothing_frees_before_two_epochs() {
+        // End-to-end bag expiry: a block retired at epoch `e` must survive
+        // the advance to `e+1` and die only when the epoch reaches `e+2`.
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Canary;
+        impl Drop for Canary {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Relaxed);
+            }
+        }
+
+        let c = Box::leak(Box::new(Collector::new()));
+        let mut h = c.register();
+        let e = c.epoch();
+        {
+            let g = h.pin();
+            unsafe { g.defer_destroy(Shared::from_owned(Canary)) };
+        }
+        {
+            // Pinned at `e`: the flush advances to `e+1`, at which the
+            // retired block is still one epoch short of expiry.
+            let g = h.pin();
+            g.flush();
+            drop(g);
+            assert_eq!(c.epoch(), e + 1);
+            assert_eq!(DROPS.load(Relaxed), 0, "freed before epoch + 2");
+        }
+        {
+            // Pinned at `e+1`: the flush advances to `e+2` and the block
+            // becomes eligible in the same collection.
+            let g = h.pin();
+            g.flush();
+            drop(g);
+            assert_eq!(c.epoch(), e + 2);
+            assert_eq!(DROPS.load(Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn advance_resumes_after_straggler_unpins() {
+        let c = Box::leak(Box::new(Collector::new()));
+        let mut blocker = c.register();
+        let mut worker = c.register();
+        let straggler = blocker.pin();
+        let e_at_pin = c.epoch();
+        for _ in 0..6 {
+            let g = worker.pin();
+            g.flush();
+            drop(g);
+        }
+        // The straggler caps the advance at one epoch past its pin.
+        assert!(c.epoch() <= e_at_pin + 1);
+        drop(straggler);
+        for _ in 0..3 {
+            let g = worker.pin();
+            g.flush();
+            drop(g);
+        }
+        assert!(c.epoch() > e_at_pin + 1, "advance stuck after unpin");
+    }
+
+    #[test]
+    fn register_unregister_churn_balances() {
+        // Thread churn: handles come and go while retiring garbage, so
+        // every drop donates to the orphan list and leaves a dead registry
+        // node behind. Afterwards a survivor must be able to adopt and free
+        // every single orphan — nothing stranded, nothing double-freed.
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Canary;
+        impl Drop for Canary {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Relaxed);
+            }
+        }
+
+        let c: &'static Collector = Box::leak(Box::new(Collector::new()));
+        let threads = 8;
+        let lives: usize = if cfg!(miri) { 4 } else { 64 };
+        let retires_per_life = 16;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(move || {
+                    for _ in 0..lives {
+                        let mut h = c.register();
+                        let g = h.pin();
+                        for _ in 0..retires_per_life {
+                            unsafe { g.defer_destroy(Shared::from_owned(Canary)) };
+                        }
+                        drop(g);
+                        // Handle drop: donate garbage, mark registry node.
+                    }
+                });
+            }
+        });
+        assert_eq!(c.participants(), 0);
+        let expected = threads * lives * retires_per_life;
+        let mut survivor = c.register();
+        for _ in 0..8 {
+            let g = survivor.pin();
+            g.flush();
+            drop(g);
+            if DROPS.load(Relaxed) == expected {
+                break;
+            }
+        }
+        assert_eq!(DROPS.load(Relaxed), expected, "orphaned garbage stranded");
+    }
+
+    #[test]
     fn no_premature_free_under_concurrency() {
         // Readers hold pins while a writer swaps and retires nodes; the
         // value read under a pin must always be intact (drop poisons it).
@@ -208,9 +317,10 @@ mod tests {
         {
             let slot = slot.clone();
             let stop = stop.clone();
+            let writes: u64 = if cfg!(miri) { 300 } else { 20_000 };
             threads.push(std::thread::spawn(move || {
                 let mut h = c.register();
-                for _ in 0..20_000 {
+                for _ in 0..writes {
                     let g = h.pin();
                     let fresh = Shared::from_owned(Node { value: 7 });
                     let old = slot.swap(fresh, AcqRel);

@@ -17,6 +17,15 @@
 //! pinned thread stops the epoch and garbage grows without bound (paper
 //! §2.4). The benchmark harness measures exactly this.
 //!
+//! The implementation is engineered to be competitive with
+//! `crossbeam-epoch` (the EBR the paper benchmarked against): pin/unpin
+//! uses the asymmetric light/heavy fence pair instead of a per-pin `SeqCst`
+//! fence, the participant registry is a lock-free intrusive list instead of
+//! a mutex-guarded vector, and garbage lives in sealed per-epoch generation
+//! bags that free whole expired generations in O(bag). See
+//! `collector.rs`'s module docs for the code-inspection notes and
+//! `EBR_COLLECT_THRESHOLD` in EXPERIMENTS.md for the collection knob.
+//!
 //! # Example
 //!
 //! ```
@@ -44,6 +53,7 @@
 
 #![warn(missing_docs)]
 
+mod bags;
 mod collector;
 mod guard;
 
@@ -54,9 +64,8 @@ use smr_common::{GuardedScheme, SchemeGuard, Shared};
 
 /// Returns the process-wide default collector.
 pub fn default_collector() -> &'static Collector {
-    use std::sync::OnceLock;
-    static DEFAULT: OnceLock<Collector> = OnceLock::new();
-    DEFAULT.get_or_init(Collector::new)
+    static DEFAULT: Collector = Collector::new();
+    &DEFAULT
 }
 
 /// Marker type wiring EBR into the [`GuardedScheme`] interface.

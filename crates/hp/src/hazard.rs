@@ -186,9 +186,10 @@ impl HazardPointer {
     /// already be retired, so protection fails.
     #[inline]
     pub fn try_protect<T>(&self, ptr: Shared<T>, src: &Atomic<T>) -> Result<(), Shared<T>> {
-        self.protect_raw(ptr.as_raw());
-        fence::light();
-        let cur = src.load(Ordering::Acquire);
+        let cur = fence::announce_then_validate(
+            || self.protect_raw(ptr.as_raw()),
+            || src.load(Ordering::Acquire),
+        );
         if cur == ptr {
             Ok(())
         } else {

@@ -59,7 +59,11 @@ impl Collector {
     }
 
     /// Registers the current thread.
-    pub fn register(&self) -> LocalHandle {
+    ///
+    /// Requires a `'static` collector (the process-wide default, or a
+    /// leaked test instance) so the handle's back-reference can never
+    /// dangle.
+    pub fn register(&'static self) -> LocalHandle {
         let record = Arc::new(Participant {
             state: CachePadded::new(AtomicU64::new(0)),
             ejected: AtomicBool::new(false),
@@ -67,7 +71,7 @@ impl Collector {
         });
         self.participants.lock().push(record.clone());
         LocalHandle {
-            global: unsafe { &*(self as *const Collector) },
+            global: self,
             record,
             garbage: Vec::new(),
             guard_live: false,

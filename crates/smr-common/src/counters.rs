@@ -83,23 +83,41 @@ pub fn garbage_now() -> u64 {
     total_retired().saturating_sub(total_freed())
 }
 
+/// Serializes tests (crate-wide) that assert exact counter deltas: the
+/// counters are process-global, so concurrently running tests that retire
+/// or free blocks would otherwise perturb each other's readings.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn garbage_accounting_balances() {
-        let before = garbage_now();
+        let _serial = test_lock();
+        let retired_before = total_retired();
+        let freed_before = total_freed();
         incr_garbage(10);
-        assert!(garbage_now() >= before + 10 - before.min(10));
+        assert_eq!(total_retired() - retired_before, 10);
+        assert_eq!(total_freed() - freed_before, 0);
         decr_garbage(10);
-        // net zero from this test's perspective
-        let after = garbage_now();
-        assert!(after <= before + 10);
+        assert_eq!(total_retired() - retired_before, 10);
+        assert_eq!(total_freed() - freed_before, 10);
+        // And the derived outstanding-garbage reading is back to where this
+        // test found it.
+        assert_eq!(
+            total_retired() - total_freed(),
+            retired_before - freed_before
+        );
     }
 
     #[test]
     fn multithreaded_accounting() {
+        let _serial = test_lock();
         let retired_before = total_retired();
         let freed_before = total_freed();
         std::thread::scope(|s| {

@@ -15,6 +15,9 @@
 //! * [`map`] — the [`ConcurrentMap`] trait every
 //!   benchmarked structure implements, plus the [`GuardedScheme`]
 //!   abstraction shared by the guard-based schemes (NR, EBR, PEBR).
+//! * [`registry`] — a lock-free intrusive list of per-thread records
+//!   (Harris-style mark-then-unlink deletion) backing EBR's participant
+//!   registry.
 //! * [`time`] — a minimal monotonic-nanosecond clock used by the benchmark
 //!   harness's per-operation latency recording.
 
@@ -24,6 +27,7 @@ pub mod atomic;
 pub mod counters;
 pub mod fence;
 pub mod map;
+pub mod registry;
 pub mod retired;
 pub mod tagged;
 pub mod time;

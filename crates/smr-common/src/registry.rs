@@ -1,0 +1,329 @@
+//! A lock-free intrusive registry of per-thread records.
+//!
+//! Reclamation schemes keep one record per registered thread (an epoch
+//! state, a hazard block, …) that reclaimers must enumerate. The classic
+//! implementation — a `Mutex<Vec<Arc<Record>>>` — serializes registration
+//! against every scan and makes the scan itself blocking. [`Registry`]
+//! replaces it with a singly-linked intrusive list:
+//!
+//! * **Insert** allocates a cache-padded [`Node`] and pushes it at the head
+//!   with a CAS loop — lock-free, no traversal.
+//! * **Delete** ([`Registry::delete`]) only *marks* the node by setting the
+//!   low tag bit of its `next` pointer (Harris-style logical deletion) — one
+//!   `fetch_or`, no traversal.
+//! * **Traverse** visits every live record and opportunistically unlinks
+//!   marked nodes it passes. The mark-before-unlink protocol makes the
+//!   unlink CAS fail whenever the predecessor has itself been deleted, so a
+//!   node is handed to the `unlinked` callback **exactly once**. On any CAS
+//!   failure the traversal restarts from the head (the list is short: one
+//!   node per registered thread).
+//!
+//! # Reclamation contract
+//!
+//! The registry does not free unlinked nodes itself: a concurrent traverser
+//! may still be parked on one. The `unlinked` callback receives ownership of
+//! the raw node and must defer the free until no traverser started before
+//! the unlink can still be running — e.g. by retiring the node through the
+//! reclamation scheme the registry serves (EBR retires registry nodes
+//! through its own epoch bags), or by leaking it. [`Registry`]'s `Drop`
+//! frees whatever is still linked, so a registry whose unlinked nodes are
+//! retired elsewhere never double-frees.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::atomic::{Atomic, Shared};
+
+/// Tag bit on a node's `next` pointer marking the node logically deleted.
+const DELETED: usize = 1;
+
+/// A registry record: the caller's data plus the intrusive link.
+///
+/// Padded to a cache-line pair so per-thread hot state (epoch words, hazard
+/// slots) in one record never false-shares with a neighbor's.
+#[repr(align(128))]
+pub struct Node<T> {
+    data: T,
+    /// Successor pointer; the low bit marks *this* node deleted.
+    next: Atomic<Node<T>>,
+}
+
+impl<T> Node<T> {
+    /// The caller's record data.
+    #[inline]
+    pub fn data(&self) -> &T {
+        &self.data
+    }
+}
+
+/// A lock-free grow/shrink registry list. See the module docs.
+pub struct Registry<T> {
+    head: Atomic<Node<T>>,
+    /// Number of inserted-and-not-deleted records (approximate under
+    /// concurrency; exact when quiescent). O(1) for adaptive thresholds.
+    live: AtomicUsize,
+}
+
+impl<T> Default for Registry<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Registry<T> {
+    /// An empty registry.
+    pub const fn new() -> Self {
+        Self {
+            head: Atomic::null(),
+            live: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of live (inserted, not yet deleted) records.
+    ///
+    /// A single relaxed load; concurrent inserts/deletes make it
+    /// approximate, which is fine for its consumers (adaptive collect
+    /// thresholds, diagnostics).
+    #[inline]
+    pub fn live(&self) -> usize {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// Inserts a new record at the head, returning its node.
+    ///
+    /// Lock-free: a CAS loop on the head pointer only. The returned pointer
+    /// stays valid at least until [`Registry::delete`] is called on it.
+    pub fn insert(&self, data: T) -> *const Node<T> {
+        let node = Shared::from_owned(Node {
+            data,
+            next: Atomic::null(),
+        });
+        // Valid: `from_owned` never returns null.
+        let node_ref = unsafe { node.deref() };
+        let mut head = self.head.load(Ordering::Relaxed);
+        loop {
+            node_ref.next.store(head, Ordering::Relaxed);
+            // Release publishes `data` and the `next` link to traversers.
+            match self
+                .head
+                .compare_exchange(head, node, Ordering::Release, Ordering::Relaxed)
+            {
+                Ok(_) => {
+                    self.live.fetch_add(1, Ordering::Relaxed);
+                    return node.as_raw();
+                }
+                Err(h) => head = h,
+            }
+        }
+    }
+
+    /// Marks `node` logically deleted; a later traversal unlinks it.
+    ///
+    /// # Safety
+    /// `node` must have come from this registry's [`insert`](Self::insert)
+    /// and must not have been deleted before. The caller must not touch the
+    /// node's data afterwards.
+    pub unsafe fn delete(&self, node: *const Node<T>) {
+        let node = unsafe { &*node };
+        let prev = node.next.fetch_or_tag(DELETED, Ordering::AcqRel);
+        debug_assert_eq!(prev.tag() & DELETED, 0, "registry node deleted twice");
+        self.live.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Visits every live record; unlinks deleted nodes along the way.
+    ///
+    /// `visit` is called once per live record (a record deleted concurrently
+    /// may or may not be visited); returning `false` aborts the traversal
+    /// and makes `traverse` return `false`. Each node this call unlinks is
+    /// passed to `unlinked` exactly once, transferring ownership — see the
+    /// module docs for when it may be freed.
+    ///
+    /// Lock-free: restarts from the head when an unlink CAS loses a race,
+    /// which requires another thread to have made progress.
+    pub fn traverse(
+        &self,
+        mut visit: impl FnMut(&T) -> bool,
+        mut unlinked: impl FnMut(*mut Node<T>),
+    ) -> bool {
+        'restart: loop {
+            let mut prev: &Atomic<Node<T>> = &self.head;
+            let mut curr = prev.load(Ordering::Acquire);
+            loop {
+                // `curr` is always untagged: head and unlink stores only
+                // publish untagged pointers, and the marked branch below
+                // strips the tag before following.
+                let Some(node) = (unsafe { curr.as_ref() }) else {
+                    return true;
+                };
+                let next = node.next.load(Ordering::Acquire);
+                if next.tag() & DELETED != 0 {
+                    let succ = next.with_tag(0);
+                    // Expecting the *untagged* `curr` means this CAS fails
+                    // if `prev` was itself marked (its value is now tagged),
+                    // so an already-unlinked predecessor can never be used
+                    // to unlink `curr` a second time.
+                    match prev.compare_exchange(curr, succ, Ordering::AcqRel, Ordering::Relaxed) {
+                        Ok(_) => {
+                            unlinked(curr.as_raw());
+                            curr = succ;
+                        }
+                        Err(_) => continue 'restart,
+                    }
+                } else {
+                    if !visit(&node.data) {
+                        return false;
+                    }
+                    prev = &node.next;
+                    curr = next;
+                }
+            }
+        }
+    }
+}
+
+impl<T> Drop for Registry<T> {
+    fn drop(&mut self) {
+        // Exclusive access: free everything still linked (live or marked).
+        // Nodes already unlinked by `traverse` are owned by the `unlinked`
+        // callback's recipient, not by the list.
+        let mut curr = self.head.load_mut();
+        while !curr.is_null() {
+            let node = unsafe { Box::from_raw(curr.as_raw()) };
+            curr = node.next.load(Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering::*};
+    use std::sync::Mutex;
+
+    fn collect_live(reg: &Registry<u64>) -> Vec<u64> {
+        let mut seen = Vec::new();
+        assert!(reg.traverse(
+            |v| {
+                seen.push(*v);
+                true
+            },
+            |_| panic!("nothing to unlink"),
+        ));
+        seen.sort_unstable();
+        seen
+    }
+
+    #[test]
+    fn insert_and_traverse() {
+        let reg = Registry::new();
+        for i in 0..10u64 {
+            reg.insert(i);
+        }
+        assert_eq!(reg.live(), 10);
+        assert_eq!(collect_live(&reg), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn traverse_aborts_on_false() {
+        let reg = Registry::new();
+        for i in 0..4u64 {
+            reg.insert(i);
+        }
+        let mut visited = 0;
+        assert!(!reg.traverse(
+            |_| {
+                visited += 1;
+                visited < 2
+            },
+            |_| {},
+        ));
+        assert_eq!(visited, 2);
+    }
+
+    #[test]
+    fn delete_unlinks_exactly_once() {
+        let reg = Registry::new();
+        let nodes: Vec<_> = (0..6u64).map(|i| reg.insert(i)).collect();
+        // Delete the even records.
+        for &n in nodes.iter().step_by(2) {
+            unsafe { reg.delete(n) };
+        }
+        assert_eq!(reg.live(), 3);
+        let mut unlinked = Vec::new();
+        assert!(reg.traverse(
+            |v| {
+                assert_eq!(v % 2, 1, "deleted record visited");
+                true
+            },
+            |n| unlinked.push(n),
+        ));
+        assert_eq!(unlinked.len(), 3);
+        // A second traversal finds nothing left to unlink.
+        assert_eq!(collect_live(&reg), vec![1, 3, 5]);
+        // Single-threaded test: no concurrent traverser, free immediately.
+        for n in unlinked {
+            drop(unsafe { Box::from_raw(n) });
+        }
+    }
+
+    #[test]
+    fn churn_under_concurrent_traversal() {
+        // Writers register/unregister in a loop while traversers scan and
+        // unlink. Every deleted node must be unlinked exactly once across
+        // all traversers, and nothing may be freed until all traversals are
+        // done (the test models the grace period by collecting unlinked
+        // nodes and freeing them after join).
+        let reg: &'static Registry<u64> = Box::leak(Box::new(Registry::new()));
+        let unlinked: &'static Mutex<Vec<usize>> = Box::leak(Box::new(Mutex::new(Vec::new())));
+        let deletes: &'static AtomicUsize = Box::leak(Box::new(AtomicUsize::new(0)));
+
+        let writers = 4;
+        let cycles: usize = if cfg!(miri) { 12 } else { 400 };
+        std::thread::scope(|s| {
+            for t in 0..writers {
+                s.spawn(move || {
+                    for i in 0..cycles {
+                        let node = reg.insert((t * cycles + i) as u64);
+                        unsafe { reg.delete(node) };
+                        deletes.fetch_add(1, Relaxed);
+                    }
+                });
+            }
+            for _ in 0..2 {
+                s.spawn(move || loop {
+                    let mut batch = Vec::new();
+                    reg.traverse(|_| true, |n| batch.push(n as usize));
+                    unlinked.lock().unwrap().extend(batch);
+                    if deletes.load(Relaxed) == writers * cycles {
+                        break;
+                    }
+                    std::thread::yield_now();
+                });
+            }
+        });
+        // Final sweep picks up any stragglers marked after the last scan.
+        let mut batch = Vec::new();
+        reg.traverse(|_| true, |n| batch.push(n as usize));
+        let mut all = unlinked.lock().unwrap();
+        all.extend(batch);
+        all.sort_unstable();
+        let before_dedup = all.len();
+        all.dedup();
+        assert_eq!(before_dedup, all.len(), "a node was unlinked twice");
+        assert_eq!(all.len(), writers * cycles, "a deleted node was lost");
+        assert_eq!(reg.live(), 0);
+        for &n in all.iter() {
+            drop(unsafe { Box::from_raw(n as *mut Node<u64>) });
+        }
+    }
+
+    #[test]
+    fn drop_frees_marked_and_live() {
+        // Covered by Miri's leak checking in spirit; here we just make sure
+        // Drop walks through tagged links without crashing.
+        let reg = Registry::new();
+        let a = reg.insert(1u64);
+        reg.insert(2u64);
+        unsafe { reg.delete(a) };
+        drop(reg);
+    }
+}

@@ -73,6 +73,7 @@ mod tests {
 
     #[test]
     fn free_runs_destructor() {
+        let _serial = crate::counters::test_lock();
         let p = Box::into_raw(Box::new(Canary));
         let before = DROPS.load(Ordering::Relaxed);
         unsafe {
@@ -84,6 +85,7 @@ mod tests {
 
     #[test]
     fn custom_deleter_runs() {
+        let _serial = crate::counters::test_lock();
         static CUSTOM: AtomicUsize = AtomicUsize::new(0);
         unsafe fn del(p: *mut u8) {
             CUSTOM.fetch_add(1, Ordering::Relaxed);
