@@ -9,7 +9,7 @@
 //! so this binary sweeps once and emits a combined CSV; use `--metric` to
 //! restrict the printed summary.
 
-use bench::orchestrate::{emit, run_scenario, Opts};
+use bench::orchestrate::{emit, emit_timeout, run_scenario, Opts, Outcome};
 use bench::{thread_sweep, Ds, Scenario, Scheme, Workload};
 
 fn main() {
@@ -43,8 +43,10 @@ fn main() {
                         duration: opts.duration(),
                         long_running: false,
                     };
-                    if let Some(stats) = run_scenario(&sc, &opts) {
-                        emit("appendix", &sc, &stats);
+                    match run_scenario(&sc, &opts) {
+                        Outcome::Done(stats) => emit("appendix", &sc, &stats),
+                        Outcome::Timeout => emit_timeout("appendix", &sc),
+                        Outcome::Skipped | Outcome::Failed => {}
                     }
                 }
             }

@@ -5,7 +5,7 @@
 //!
 //! HMList is used for HP, HHSList for the other schemes (as in the paper).
 
-use bench::orchestrate::{emit, run_scenario, Opts};
+use bench::orchestrate::{emit, emit_timeout, run_scenario, Opts, Outcome};
 use bench::{Ds, Scenario, Scheme, Workload};
 
 fn main() {
@@ -43,8 +43,10 @@ fn main() {
                 duration: opts.duration(),
                 long_running: true,
             };
-            if let Some(stats) = run_scenario(&sc, &opts) {
-                emit("fig10", &sc, &stats);
+            match run_scenario(&sc, &opts) {
+                Outcome::Done(stats) => emit("fig10", &sc, &stats),
+                Outcome::Timeout => emit_timeout("fig10", &sc),
+                Outcome::Skipped | Outcome::Failed => {}
             }
         }
     }

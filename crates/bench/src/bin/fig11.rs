@@ -1,7 +1,7 @@
 //! Figure 11: peak number of retired-but-unreclaimed blocks of read-write
 //! workloads, varying thread count.
 
-use bench::orchestrate::{emit, run_scenario, Opts};
+use bench::orchestrate::{emit, emit_timeout, run_scenario, Opts, Outcome};
 use bench::{thread_sweep, Ds, Scenario, Scheme, Workload};
 
 fn main() {
@@ -29,8 +29,10 @@ fn main() {
                     duration: opts.duration(),
                     long_running: false,
                 };
-                if let Some(stats) = run_scenario(&sc, &opts) {
-                    emit("fig11", &sc, &stats);
+                match run_scenario(&sc, &opts) {
+                    Outcome::Done(stats) => emit("fig11", &sc, &stats),
+                    Outcome::Timeout => emit_timeout("fig11", &sc),
+                    Outcome::Skipped | Outcome::Failed => {}
                 }
             }
         }

@@ -1,7 +1,7 @@
 //! Figure 8: throughput of read-write workloads, big key range, varying
 //! thread count, for every data structure × scheme.
 
-use bench::orchestrate::{emit, run_scenario, Opts};
+use bench::orchestrate::{emit, emit_timeout, run_scenario, Opts, Outcome};
 use bench::{thread_sweep, Ds, Scenario, Scheme, Workload};
 
 fn main() {
@@ -26,8 +26,10 @@ fn main() {
                     duration: opts.duration(),
                     long_running: false,
                 };
-                if let Some(stats) = run_scenario(&sc, &opts) {
-                    emit("fig8", &sc, &stats);
+                match run_scenario(&sc, &opts) {
+                    Outcome::Done(stats) => emit("fig8", &sc, &stats),
+                    Outcome::Timeout => emit_timeout("fig8", &sc),
+                    Outcome::Skipped | Outcome::Failed => {}
                 }
             }
         }

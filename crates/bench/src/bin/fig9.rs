@@ -5,7 +5,7 @@
 //! HHSList and NMTree. Each category reports the best structure per scheme,
 //! exactly as the paper's "max throughput achievable in each category".
 
-use bench::orchestrate::{run_scenario, Opts};
+use bench::orchestrate::{run_scenario, Opts, Outcome};
 use bench::{thread_sweep, Ds, Scenario, Scheme, Workload};
 
 fn best(
@@ -35,7 +35,7 @@ fn best(
             duration: opts.duration(),
             long_running: false,
         };
-        if let Some(stats) = run_scenario(&sc, opts) {
+        if let Outcome::Done(stats) = run_scenario(&sc, opts) {
             if best.map(|(_, b)| stats.throughput_mops > b).unwrap_or(true) {
                 best = Some((ds, stats.throughput_mops));
             }

@@ -5,11 +5,28 @@
 //! pointers) and stalls; the remaining threads churn insert/remove. Robust
 //! schemes (HP, HP++, PEBR-after-ejection) keep garbage bounded; EBR and NR
 //! grow without bound.
+//!
+//! A [`GarbageWatchdog`] samples each run every 25 ms — progress token =
+//! [`counters::total_freed`] (moves iff reclamation moves, for every
+//! scheme) — and the final verdict column classifies the run as `healthy`,
+//! `degraded-bounded`, or `growing-unbounded`.
+//!
+//! With `--quick` the churn window shrinks to 300 ms and the binary turns
+//! into a CI gate: it exits non-zero if the HP or HP++ peak exceeds the
+//! bound *derived from the schemes' published formulas* (Michael's
+//! `k·H + threshold` per participant; HP++ adds its deferred-invalidation
+//! batches). The EBR/PEBR rows stay informational — their failure modes are
+//! asserted by `tests/robustness.rs`.
 
 use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::time::Duration;
 
+use smr_common::counters;
+use smr_common::watchdog::{GarbageWatchdog, WatchdogStatus};
 use smr_common::{ConcurrentMap, GuardedScheme};
+
+/// Threads churning against the one staller.
+const CHURNERS: usize = 3;
 
 fn churn<M: ConcurrentMap<u64, u64> + Send + Sync>(map: &M, stop: &AtomicBool) {
     let mut h = map.handle();
@@ -21,44 +38,103 @@ fn churn<M: ConcurrentMap<u64, u64> + Send + Sync>(map: &M, stop: &AtomicBool) {
     }
 }
 
-fn measure<M, F>(name: &str, stall: F)
+struct Measured {
+    garbage: usize,
+    peak: usize,
+    bound: usize,
+    verdict: &'static str,
+}
+
+fn measure<M, F>(name: &str, window: Duration, bound: usize, stall: F) -> Measured
 where
     M: ConcurrentMap<u64, u64> + Send + Sync,
     F: FnOnce(&M, &AtomicBool) + Send,
 {
     let map = M::new();
     let stop = AtomicBool::new(false);
-    let base = smr_common::counters::garbage_now();
+    let base = counters::garbage_now();
+    // The stall window is a fraction of the run so a wedged scheme is
+    // flagged within the window, not only at the final sample.
+    let mut dog = GarbageWatchdog::new(bound, window / 4);
+    let mut last = WatchdogStatus::Healthy;
     std::thread::scope(|s| {
         s.spawn(|| stall(&map, &stop));
-        for _ in 0..3 {
+        for _ in 0..CHURNERS {
             s.spawn(|| churn(&map, &stop));
         }
-        std::thread::sleep(Duration::from_millis(1500));
+        let deadline = std::time::Instant::now() + window;
+        while std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(25));
+            let garbage = counters::garbage_now().saturating_sub(base) as usize;
+            last = dog.observe(counters::total_freed(), garbage);
+        }
         stop.store(true, Relaxed);
     });
-    let garbage = smr_common::counters::garbage_now().saturating_sub(base);
-    println!("{name},{garbage}");
+    let garbage = counters::garbage_now().saturating_sub(base) as usize;
+    let verdict = match last {
+        WatchdogStatus::Healthy => "healthy",
+        WatchdogStatus::DegradedBounded { .. } => "degraded-bounded",
+        WatchdogStatus::GrowingUnbounded { .. } => "growing-unbounded",
+    };
+    let m = Measured {
+        garbage,
+        peak: dog.peak(),
+        bound,
+        verdict,
+    };
+    println!("{name},{},{},{},{}", m.garbage, m.peak, m.bound, m.verdict);
+    m
 }
 
 fn main() {
-    println!("# Table 1: unreclaimed blocks after 1.5 s of churn with one stalled thread");
-    println!("scheme,unreclaimed_blocks");
+    let quick = std::env::args().any(|a| a == "--quick");
+    let window = if quick {
+        Duration::from_millis(300)
+    } else {
+        Duration::from_millis(1500)
+    };
+    let participants = CHURNERS + 1;
+
+    println!(
+        "# Table 1: unreclaimed blocks after {:?} of churn with one stalled thread",
+        window
+    );
+    println!("scheme,unreclaimed_blocks,peak_unreclaimed,bound,watchdog");
+
+    // Bounds derived from the published formulas, never hard-coded:
+    // each participant's bag stays below max(threshold, k·H); 2x margin.
+    let hp_slots = hp::default_domain().slot_capacity();
+    let hp_bound = 2 * participants * (hp::reclaim_k() * hp_slots + hp::RECLAIM_THRESHOLD);
+    let hpp_slots = hp_plus::default_domain().hp_domain().slot_capacity();
+    let hpp_bound = 2
+        * participants
+        * (hp::reclaim_k() * hpp_slots + hp::RECLAIM_THRESHOLD + 2 * hp_plus::RECLAIM_PERIOD);
+    // EBR has no bound; give the watchdog its collection trigger so a
+    // stalled pin is classified as growth, not noise.
+    let ebr_bound = 4 * ebr::default_collector().collect_threshold();
+    let pebr_bound = 2 * participants * (pebr::EJECT_THRESHOLD + 2 * pebr::COLLECT_THRESHOLD);
 
     // EBR: the stalled thread holds a pin forever — unbounded growth.
-    measure::<ds::guarded::HMList<u64, u64, ebr::Ebr>, _>("ebr-stalled-pin", |map, stop| {
-        let mut h = map.handle();
-        let _g = ebr::Ebr::pin(&mut h);
-        while !stop.load(Relaxed) {
-            std::thread::sleep(Duration::from_millis(10));
-        }
-    });
+    measure::<ds::guarded::HMList<u64, u64, ebr::Ebr>, _>(
+        "ebr-stalled-pin",
+        window,
+        ebr_bound,
+        |map, stop| {
+            let mut h = map.handle();
+            let _g = ebr::Ebr::pin(&mut h);
+            while !stop.load(Relaxed) {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        },
+    );
 
     // PEBR, non-cooperative staller: our behavioral model only neutralizes
     // threads at their validate() points, so this matches EBR (documented
     // deviation from real PEBR — see DESIGN.md).
     measure::<ds::guarded::HMList<u64, u64, pebr::Pebr>, _>(
         "pebr-stalled-pin-noncooperative",
+        window,
+        pebr_bound,
         |map, stop| {
             let mut h = map.handle();
             let _g = pebr::Pebr::pin(&mut h);
@@ -72,6 +148,8 @@ fn main() {
     // would; ejection lands and garbage stays bounded.
     measure::<ds::guarded::HMList<u64, u64, pebr::Pebr>, _>(
         "pebr-stalled-pin-cooperative",
+        window,
+        pebr_bound,
         |map, stop| {
             use smr_common::SchemeGuard;
             let mut h = map.handle();
@@ -87,27 +165,54 @@ fn main() {
 
     // HP: the stalled thread parks on a validated hazard pointer —
     // only the announced nodes stay unreclaimed.
-    measure::<ds::hp::HMList<u64, u64>, _>("hp-stalled-hazard", |map, stop| {
-        let mut h = ConcurrentMap::handle(map);
-        let _ = map.get(&mut h, &0);
-        // Handle keeps its hazard slots; just stall without resetting them.
-        while !stop.load(Relaxed) {
-            std::thread::sleep(Duration::from_millis(10));
-        }
-        drop(h);
-    });
+    let hp_run = measure::<ds::hp::HMList<u64, u64>, _>(
+        "hp-stalled-hazard",
+        window,
+        hp_bound,
+        |map, stop| {
+            let mut h = ConcurrentMap::handle(map);
+            let _ = map.get(&mut h, &0);
+            // Handle keeps its hazard slots; just stall without resetting them.
+            while !stop.load(Relaxed) {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            drop(h);
+        },
+    );
 
     // HP++: same, plus frontier protections — still bounded.
-    measure::<ds::hpp::HHSList<u64, u64>, _>("hp++-stalled-hazard", |map, stop| {
-        let mut h = ConcurrentMap::handle(map);
-        let _ = map.get(&mut h, &0);
-        while !stop.load(Relaxed) {
-            std::thread::sleep(Duration::from_millis(10));
-        }
-        drop(h);
-    });
+    let hpp_run = measure::<ds::hpp::HHSList<u64, u64>, _>(
+        "hp++-stalled-hazard",
+        window,
+        hpp_bound,
+        |map, stop| {
+            let mut h = ConcurrentMap::handle(map);
+            let _ = map.get(&mut h, &0);
+            while !stop.load(Relaxed) {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            drop(h);
+        },
+    );
 
     println!();
     println!("# Expectation (paper Table 1): EBR unbounded (grows with run time);");
     println!("# HP/HP++ O(hazards + thresholds); PEBR bounded after ejection.");
+
+    if quick {
+        let mut failed = false;
+        for (name, m) in [("hp", &hp_run), ("hp++", &hpp_run)] {
+            if m.peak > m.bound {
+                eprintln!(
+                    "BOUND VIOLATION: {name} peak unreclaimed {} exceeds derived bound {}",
+                    m.peak, m.bound
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("# --quick gate: HP and HP++ peaks within their derived bounds.");
+    }
 }

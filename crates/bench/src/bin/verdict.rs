@@ -44,14 +44,23 @@ fn load(path: &str) -> Option<Rows> {
         if f.len() < header.len() || f[c_ds] == "ds" {
             continue;
         }
-        rows.push(Row {
-            ds: f[c_ds].into(),
-            scheme: f[c_scheme].into(),
-            threads: f[c_threads].parse().ok()?,
-            key_range: f[c_range].parse().ok()?,
-            throughput: f[c_tp].parse().ok()?,
-            peak_garbage: f[c_peak].parse().ok()?,
-        });
+        // A row whose metric fields don't parse — a repeated header or the
+        // orchestrator's `timeout` marker — is skipped, not fatal: the rest
+        // of the file still carries evidence for the shape claims.
+        let parsed = (|| {
+            Some(Row {
+                ds: f[c_ds].into(),
+                scheme: f[c_scheme].into(),
+                threads: f[c_threads].parse().ok()?,
+                key_range: f[c_range].parse().ok()?,
+                throughput: f[c_tp].parse().ok()?,
+                peak_garbage: f[c_peak].parse().ok()?,
+            })
+        })();
+        match parsed {
+            Some(row) => rows.push(row),
+            None => eprintln!("skipping unparseable row in {path}: {line}"),
+        }
     }
     Some(rows)
 }

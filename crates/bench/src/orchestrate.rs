@@ -1,8 +1,9 @@
 //! Spawning per-scenario subprocesses and collecting CSV rows.
 
+use std::io::Read;
 use std::path::PathBuf;
-use std::process::Command;
-use std::time::Duration;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
 
 use crate::config::Scenario;
 use crate::metrics::Stats;
@@ -70,16 +71,94 @@ fn smr_bench_path() -> PathBuf {
     p
 }
 
+/// What happened to one scenario run.
+#[derive(Debug)]
+pub enum Outcome {
+    /// Completed and produced parseable stats.
+    Done(Stats),
+    /// The subprocess exceeded its deadline twice (initial run + retry)
+    /// and was killed; `emit_timeout` records it so a wedged scheme
+    /// (e.g. a livelocked reclaimer) leaves a trace instead of hanging
+    /// the whole sweep.
+    Timeout,
+    /// The (ds, scheme) pair is inapplicable — not an error.
+    Skipped,
+    /// The subprocess exited non-zero or printed garbage.
+    Failed,
+}
+
+/// Wall-clock budget for one scenario subprocess: the measured window plus
+/// a 10x factor for slow hosts (the run itself inflates under sanitizers
+/// and oversubscription) plus a flat allowance for prefill and teardown.
+pub fn scenario_deadline(sc: &Scenario) -> Duration {
+    (sc.warmup + sc.duration) * 10 + Duration::from_secs(20)
+}
+
+/// Result of driving one subprocess to completion or its deadline.
+enum CmdResult {
+    Exited { success: bool, stdout: String, stderr: String },
+    TimedOut,
+}
+
+/// Spawns `cmd` and polls it against `deadline`; kills it (and reaps the
+/// zombie) if it overruns. Output is drained from readers *after* exit —
+/// safe here because smr_bench writes a single CSV line, far below pipe
+/// capacity, so it can never block on a full pipe while we poll.
+fn run_with_deadline(cmd: &mut Command, deadline: Duration) -> std::io::Result<CmdResult> {
+    let mut child = cmd.stdout(Stdio::piped()).stderr(Stdio::piped()).spawn()?;
+    let start = Instant::now();
+    let status = loop {
+        match child.try_wait()? {
+            Some(status) => break status,
+            None if start.elapsed() > deadline => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Ok(CmdResult::TimedOut);
+            }
+            None => std::thread::sleep(Duration::from_millis(10)),
+        }
+    };
+    let mut stdout = String::new();
+    let mut stderr = String::new();
+    if let Some(mut s) = child.stdout.take() {
+        let _ = s.read_to_string(&mut stdout);
+    }
+    if let Some(mut s) = child.stderr.take() {
+        let _ = s.read_to_string(&mut stderr);
+    }
+    Ok(CmdResult::Exited {
+        success: status.success(),
+        stdout,
+        stderr,
+    })
+}
+
 /// Runs one scenario, either in a subprocess (default) or in-process.
-pub fn run_scenario(sc: &Scenario, opts: &Opts) -> Option<Stats> {
+///
+/// Subprocess runs get a per-scenario deadline ([`scenario_deadline`]) and
+/// one retry after a short backoff; a second overrun yields
+/// [`Outcome::Timeout`].
+pub fn run_scenario(sc: &Scenario, opts: &Opts) -> Outcome {
     if !crate::runner::applicable(sc.ds, sc.scheme) {
-        return None;
+        return Outcome::Skipped;
     }
     if opts.in_process {
-        return crate::runner::run(sc);
+        return match crate::runner::run(sc) {
+            Some(stats) => Outcome::Done(stats),
+            None => Outcome::Failed,
+        };
     }
-    let out = Command::new(smr_bench_path())
-        .args([
+    let deadline = scenario_deadline(sc);
+    for attempt in 0..2 {
+        if attempt > 0 {
+            eprintln!(
+                "smr_bench timed out for {} after {deadline:?}; retrying once",
+                sc.csv_prefix()
+            );
+            std::thread::sleep(Duration::from_millis(500));
+        }
+        let mut cmd = Command::new(smr_bench_path());
+        cmd.args([
             "--ds",
             &sc.ds.to_string(),
             "--scheme",
@@ -101,19 +180,32 @@ pub fn run_scenario(sc: &Scenario, opts: &Opts) -> Option<Stats> {
             vec!["--long-running"]
         } else {
             vec![]
-        })
-        .output()
-        .expect("failed to spawn smr_bench; run via cargo so sibling binaries are built");
-    if !out.status.success() {
-        eprintln!(
-            "smr_bench failed for {}: {}",
-            sc.csv_prefix(),
-            String::from_utf8_lossy(&out.stderr)
-        );
-        return None;
+        });
+        let result = run_with_deadline(&mut cmd, deadline)
+            .expect("failed to spawn smr_bench; run via cargo so sibling binaries are built");
+        match result {
+            CmdResult::TimedOut => continue,
+            CmdResult::Exited {
+                success: false,
+                stderr,
+                ..
+            } => {
+                eprintln!("smr_bench failed for {}: {}", sc.csv_prefix(), stderr);
+                return Outcome::Failed;
+            }
+            CmdResult::Exited { stdout, .. } => {
+                return match parse_csv_line(stdout.trim()) {
+                    Some(stats) => Outcome::Done(stats),
+                    None => Outcome::Failed,
+                };
+            }
+        }
     }
-    let line = String::from_utf8_lossy(&out.stdout);
-    parse_csv_line(line.trim())
+    eprintln!(
+        "smr_bench timed out for {} twice; recording a timeout row",
+        sc.csv_prefix()
+    );
+    Outcome::Timeout
 }
 
 fn parse_csv_line(line: &str) -> Option<Stats> {
@@ -138,7 +230,19 @@ fn parse_csv_line(line: &str) -> Option<Stats> {
 
 /// Prints a row and appends it to `results/<name>.csv`.
 pub fn emit(name: &str, sc: &Scenario, stats: &Stats) {
-    let row = format!("{},{}", sc.csv_prefix(), stats.csv_suffix());
+    emit_row(name, format!("{},{}", sc.csv_prefix(), stats.csv_suffix()));
+}
+
+/// Records a timed-out scenario: every stat column reads `timeout`, so the
+/// row is visible in the CSV but skipped by numeric consumers (verdict,
+/// plot) when its fields fail to parse.
+pub fn emit_timeout(name: &str, sc: &Scenario) {
+    let stat_cols = Scenario::CSV_HEADER.split(',').count() - sc.csv_prefix().split(',').count();
+    let suffix = vec!["timeout"; stat_cols].join(",");
+    emit_row(name, format!("{},{suffix}", sc.csv_prefix()));
+}
+
+fn emit_row(name: &str, row: String) {
     println!("{row}");
     let _ = std::fs::create_dir_all("results");
     use std::io::Write;
@@ -190,5 +294,48 @@ mod tests {
     #[test]
     fn short_lines_are_rejected() {
         assert!(parse_csv_line("a,b,c").is_none());
+    }
+
+    #[test]
+    fn deadline_kills_overrunning_process() {
+        let mut cmd = Command::new("sleep");
+        cmd.arg("30");
+        let start = Instant::now();
+        match run_with_deadline(&mut cmd, Duration::from_millis(100)).unwrap() {
+            CmdResult::TimedOut => {}
+            CmdResult::Exited { .. } => panic!("sleep 30 cannot finish in 100ms"),
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "the child must be killed at the deadline, not waited out"
+        );
+    }
+
+    #[test]
+    fn fast_process_output_is_collected() {
+        let mut cmd = Command::new("sh");
+        cmd.args(["-c", "echo out-line; echo err-line >&2"]);
+        match run_with_deadline(&mut cmd, Duration::from_secs(30)).unwrap() {
+            CmdResult::Exited {
+                success,
+                stdout,
+                stderr,
+            } => {
+                assert!(success);
+                assert_eq!(stdout.trim(), "out-line");
+                assert_eq!(stderr.trim(), "err-line");
+            }
+            CmdResult::TimedOut => panic!("echo must not time out"),
+        }
+    }
+
+    #[test]
+    fn failing_process_reports_not_success() {
+        let mut cmd = Command::new("sh");
+        cmd.args(["-c", "exit 3"]);
+        match run_with_deadline(&mut cmd, Duration::from_secs(30)).unwrap() {
+            CmdResult::Exited { success, .. } => assert!(!success),
+            CmdResult::TimedOut => panic!("exit 3 must not time out"),
+        }
     }
 }

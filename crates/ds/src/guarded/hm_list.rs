@@ -56,6 +56,9 @@ where
             let mut prev: *const Atomic<Node<K, V>> = &self.head;
             let mut cur = unsafe { &*prev }.load(Acquire);
             loop {
+                // A traverser preempted between validation and the next
+                // link load is exactly what ejection (PEBR) must survive.
+                smr_common::fault_point!("ds::guarded::traverse::validate");
                 if !guard.validate() {
                     guard.refresh();
                     continue 'retry;

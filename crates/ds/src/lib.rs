@@ -44,6 +44,11 @@ pub mod hpp;
 
 pub use smr_common::{ConcurrentMap, GuardedScheme, SchemeGuard};
 
+/// Named fault-injection points compiled into this crate (each a
+/// `smr_common::fault_point!` site; no-ops without the `fault-injection`
+/// feature). DESIGN.md §1.7 documents the invariant each one attacks.
+pub const FAULT_POINTS: &[&str] = &["ds::guarded::traverse::validate"];
+
 #[cfg(test)]
 mod edge_tests;
 #[cfg(test)]

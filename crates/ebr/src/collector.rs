@@ -135,8 +135,11 @@ impl Collector {
 
     /// Retire count at which a thread attempts a collection:
     /// `max(EBR_COLLECT_THRESHOLD, 8 · participants)`.
+    ///
+    /// Public so tests can derive garbage bounds from the same formula the
+    /// scheme enforces instead of hard-coding magic constants.
     #[inline]
-    pub(crate) fn collect_threshold(&self) -> usize {
+    pub fn collect_threshold(&self) -> usize {
         collect_threshold_floor().max(COLLECT_K * self.registry.live())
     }
 
@@ -153,6 +156,7 @@ impl Collector {
         // every participant state store made before the announcer's light
         // fence is visible below.
         smr_fence::heavy();
+        smr_common::fault_point!("ebr::advance::before_traverse");
         let all_observed = self.registry.traverse(
             |p| match Participant::pinned_epoch(p.state.load(Ordering::Relaxed)) {
                 Some(pinned) => pinned == e,
@@ -171,6 +175,9 @@ impl Collector {
         }
         // Order the participant reads above before publishing the new epoch.
         fence(Ordering::Acquire);
+        // A collector stalled here has verified every participant but not
+        // yet published — no other thread advances for it, epochs wedge.
+        smr_common::fault_point!("ebr::advance::before_publish");
         let _ = self
             .epoch
             .compare_exchange(e, e + 1, Ordering::Release, Ordering::Relaxed);
@@ -255,7 +262,13 @@ impl LocalHandle {
         loop {
             let state = &self.participant().state;
             let e2 = smr_fence::announce_then_validate(
-                || state.store((e << 1) | 1, Ordering::Relaxed),
+                || {
+                    state.store((e << 1) | 1, Ordering::Relaxed);
+                    // The announce-to-validate window: a thread stalled here
+                    // has announced an epoch every advancer must honor — the
+                    // interleaving that wedges the global epoch (Table 1).
+                    smr_common::fault_point!("ebr::pin::before_validate");
+                },
                 || self.global.epoch.load(Ordering::Relaxed),
             );
             if e == e2 {
@@ -292,6 +305,7 @@ impl LocalHandle {
                 }
             }
         }
+        smr_common::fault_point!("ebr::collect::after_adopt");
         let global_epoch = self.global.try_advance(&mut self.bags);
         self.bags.collect_expired(global_epoch);
     }
@@ -299,13 +313,24 @@ impl LocalHandle {
 
 impl Drop for LocalHandle {
     fn drop(&mut self) {
-        // Mark the registry node dead first so a concurrent advance is not
-        // blocked on a participant that no longer runs.
-        unsafe { self.global.registry.delete(self.record) };
-        if self.bags.len() > 0 {
-            let mut donated = Vec::new();
-            self.bags.drain_into(&mut donated);
-            self.global.donate_orphans(&mut donated);
+        // Unregistration and donation must run even if teardown itself
+        // panics (a dying worker must neither wedge the epoch nor strand
+        // garbage), so both live in a guard that runs during unwinding too.
+        struct Teardown<'a>(&'a mut LocalHandle);
+        impl Drop for Teardown<'_> {
+            fn drop(&mut self) {
+                let h = &mut *self.0;
+                // Mark the registry node dead first so a concurrent advance
+                // is not blocked on a participant that no longer runs.
+                unsafe { h.global.registry.delete(h.record) };
+                if h.bags.len() > 0 {
+                    let mut donated = Vec::new();
+                    h.bags.drain_into(&mut donated);
+                    h.global.donate_orphans(&mut donated);
+                }
+            }
         }
+        let _g = Teardown(self);
+        smr_common::fault_point!("ebr::teardown::before_donate");
     }
 }

@@ -48,6 +48,7 @@ impl<'a> Guard<'a> {
         let epoch = handle.global.epoch.load(Ordering::Relaxed);
         counters::incr_garbage(1);
         handle.bags.push(epoch, unsafe { Retired::new(ptr.as_raw()) });
+        smr_common::fault_point!("ebr::defer::after_push");
         if handle.bags.len() >= handle.global.collect_threshold() {
             handle.collect();
         }

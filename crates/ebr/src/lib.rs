@@ -68,6 +68,18 @@ pub fn default_collector() -> &'static Collector {
     &DEFAULT
 }
 
+/// Named fault-injection points compiled into this crate (each a
+/// `smr_common::fault_point!` site; no-ops without the `fault-injection`
+/// feature). DESIGN.md §1.7 documents the invariant each one attacks.
+pub const FAULT_POINTS: &[&str] = &[
+    "ebr::pin::before_validate",
+    "ebr::defer::after_push",
+    "ebr::advance::before_traverse",
+    "ebr::advance::before_publish",
+    "ebr::collect::after_adopt",
+    "ebr::teardown::before_donate",
+];
+
 /// Marker type wiring EBR into the [`GuardedScheme`] interface.
 pub struct Ebr;
 

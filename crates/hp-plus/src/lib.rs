@@ -110,6 +110,16 @@ pub const INVALIDATE_PERIOD: usize = 32;
 /// How many `try_unlink`s between reclamation attempts (paper §5).
 pub const RECLAIM_PERIOD: usize = 128;
 
+/// Named fault-injection points compiled into this crate (each a
+/// `smr_common::fault_point!` site; no-ops without the `fault-injection`
+/// feature). DESIGN.md §1.7 documents the invariant each one attacks.
+pub const FAULT_POINTS: &[&str] = &[
+    "hpp::try_unlink::after_frontier",
+    "hpp::try_unlink::after_detach",
+    "hpp::try_unlink::mid_invalidation",
+    "hpp::reclaim::before_revoke",
+];
+
 /// The effective periods, overridable for the batching ablation via the
 /// `HPP_INVALIDATE_PERIOD` / `HPP_RECLAIM_PERIOD` environment variables
 /// (read once, at first use).

@@ -244,6 +244,9 @@ impl Thread {
             hp.protect_raw(f.as_raw());
             hps.push(hp, &mut self.spare_hp_vecs);
         }
+        // Frontier protections are up but the unlink CAS has not run: a
+        // thread preempted here holds hazards for still-reachable nodes.
+        smr_common::fault_point!("hpp::try_unlink::after_frontier");
 
         match do_unlink() {
             Some(unlinked) => {
@@ -257,6 +260,9 @@ impl Thread {
                     invalidate: invalidate_erased::<T>,
                     frontier_hps: hps,
                 });
+                // Nodes are detached but not yet invalidated — the window
+                // HP++'s deferred invalidation (Algorithm 3) leaves open.
+                smr_common::fault_point!("hpp::try_unlink::after_detach");
                 self.unlink_count += 1;
                 let (invalidate_period, reclaim_period) = periods();
                 if self.unlink_count.is_multiple_of(reclaim_period) {
@@ -295,11 +301,16 @@ impl Thread {
             spare_hp_vecs,
             ..
         } = self;
-        debug_assert!(pending_hps.is_empty());
+        // `pending_hps` may hold leftovers from a flush aborted by an
+        // injected panic; the tail `extend` re-parks them conservatively
+        // with the new epoch, so no emptiness assertion here.
         for mut batch in unlinkeds.drain(..) {
             batch.nodes.for_each_ref(|node| {
                 unsafe { (batch.invalidate)(node.ptr()) };
             });
+            // A batch's nodes are invalidated but its frontier protections
+            // are still announced and its nodes not yet in the retired bag.
+            smr_common::fault_point!("hpp::try_unlink::mid_invalidation");
             batch
                 .frontier_hps
                 .drain_into(spare_hp_vecs, |hp| pending_hps.push(hp));
@@ -339,6 +350,7 @@ impl Thread {
         } = self;
         let parked: &[(u64, HazardPointer)] = epoched_hps;
         inner.reclaim_with_prefence(|| {
+            smr_common::fault_point!("hpp::reclaim::before_revoke");
             domain.fence_epoch_step();
             for (_, hp) in parked {
                 hp.reset();
@@ -357,7 +369,48 @@ impl Thread {
 
 impl Drop for Thread {
     fn drop(&mut self) {
-        self.reclaim();
+        // If the final reclaim panics (a worker dying mid-flush), the guard
+        // below still invalidates every pending batch and retires its nodes
+        // before the inner `hp::Thread` teardown donates them — donating an
+        // un-invalidated node would let a reader follow links into freed
+        // memory (the HP++ safety argument requires invalidate-then-retire).
+        struct Salvage<'a>(&'a mut Thread);
+        impl Drop for Salvage<'_> {
+            fn drop(&mut self) {
+                let Thread {
+                    inner,
+                    unlinkeds,
+                    epoched_hps,
+                    pending_hps,
+                    spare_retired_vecs,
+                    spare_hp_vecs,
+                    ..
+                } = &mut *self.0;
+                for mut batch in unlinkeds.drain(..) {
+                    batch.nodes.for_each_ref(|node| {
+                        unsafe { (batch.invalidate)(node.ptr()) };
+                    });
+                    // Dropping the frontier protections releases their slots
+                    // back to the domain.
+                    batch.frontier_hps.drain_into(spare_hp_vecs, drop);
+                    batch
+                        .nodes
+                        .drain_into(spare_retired_vecs, |node| inner.push_retired(node));
+                }
+                // A heavy fence separates the invalidations above from the
+                // donation scan in the inner teardown, standing in for the
+                // epoched fence the aborted reclaim never issued.
+                smr_common::fence::heavy();
+                for (_, hp) in epoched_hps.drain(..) {
+                    drop(hp);
+                }
+                for hp in pending_hps.drain(..) {
+                    drop(hp);
+                }
+            }
+        }
+        let g = Salvage(self);
+        g.0.reclaim();
         // Anything still protected by other threads is donated to the
         // domain's orphan list by the inner thread's Drop.
     }

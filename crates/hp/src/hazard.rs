@@ -187,7 +187,12 @@ impl HazardPointer {
     #[inline]
     pub fn try_protect<T>(&self, ptr: Shared<T>, src: &Atomic<T>) -> Result<(), Shared<T>> {
         let cur = fence::announce_then_validate(
-            || self.protect_raw(ptr.as_raw()),
+            || {
+                self.protect_raw(ptr.as_raw());
+                // The announce-to-validate window: a thread stalled here has
+                // published a hazard that retirers must already honor.
+                smr_common::fault_point!("hp::protect::after_announce");
+            },
             || src.load(Ordering::Acquire),
         );
         if cur == ptr {

@@ -70,6 +70,17 @@ pub const RECLAIM_THRESHOLD: usize = 128;
 /// amortization.
 pub const RECLAIM_K: usize = 2;
 
+/// Named fault-injection points compiled into this crate (each a
+/// `smr_common::fault_point!` site; no-ops without the `fault-injection`
+/// feature). DESIGN.md §1.7 documents the invariant each one attacks.
+pub const FAULT_POINTS: &[&str] = &[
+    "hp::protect::after_announce",
+    "hp::retire::after_push",
+    "hp::reclaim::before_fence",
+    "hp::reclaim::after_snapshot",
+    "hp::teardown::before_reclaim",
+];
+
 /// The effective adaptive-threshold multiplier, overridable for ablations
 /// via the `HP_RECLAIM_K` environment variable (read once, at first use).
 pub fn reclaim_k() -> usize {

@@ -80,6 +80,7 @@ impl Thread {
     pub unsafe fn retire<T>(&mut self, ptr: *mut T) {
         counters::incr_garbage(1);
         self.retired.push(Retired::new(ptr));
+        smr_common::fault_point!("hp::retire::after_push");
         if self.retired.len() >= self.reclaim_threshold() {
             self.reclaim();
         }
@@ -136,8 +137,13 @@ impl Thread {
             prefence();
             return;
         }
-        debug_assert!(self.scan_bag.is_empty());
+        // An aborted scan (injected panic mid-reclaim) leaves its bag in
+        // `scan_bag`; fold it back so those nodes are rescanned, not lost.
+        if !self.scan_bag.is_empty() {
+            self.retired.append(&mut self.scan_bag);
+        }
         std::mem::swap(&mut self.retired, &mut self.scan_bag);
+        smr_common::fault_point!("hp::reclaim::before_fence");
         // Orders prior unlinks/retires against the hazard scan below: any
         // thread that announced one of `scan_bag` before its unlink is
         // visible to the scan; any thread that announces later will fail
@@ -146,6 +152,7 @@ impl Thread {
         self.scan_protected.clear();
         self.domain.hazards.collect_protected(&mut self.scan_protected);
         self.scan_protected.sort_unstable();
+        smr_common::fault_point!("hp::reclaim::after_snapshot");
         for r in self.scan_bag.drain(..) {
             if self
                 .scan_protected
@@ -162,12 +169,25 @@ impl Thread {
 
 impl Drop for Thread {
     fn drop(&mut self) {
-        // One last attempt, then donate leftovers.
-        self.reclaim();
-        self.domain.donate_orphans(&mut self.retired);
-        for slot in self.spare.drain(..) {
-            drop(HazardPointer::from_slot(slot));
+        // The donation must happen even if the final reclaim panics (a
+        // worker dying inside a scan must not strand its garbage), so it
+        // lives in a guard that runs during unwinding too.
+        struct Teardown<'a>(&'a mut Thread);
+        impl Drop for Teardown<'_> {
+            fn drop(&mut self) {
+                let t = &mut *self.0;
+                // An aborted scan leaves its bag in `scan_bag`.
+                t.retired.append(&mut t.scan_bag);
+                t.domain.donate_orphans(&mut t.retired);
+                for slot in t.spare.drain(..) {
+                    drop(HazardPointer::from_slot(slot));
+                }
+            }
         }
+        let g = Teardown(self);
+        smr_common::fault_point!("hp::teardown::before_reclaim");
+        // One last attempt, then the guard donates leftovers.
+        g.0.reclaim();
     }
 }
 

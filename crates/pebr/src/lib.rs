@@ -23,10 +23,22 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use smr_common::{counters, CachePadded, GuardedScheme, Retired, SchemeGuard, Shared};
 
-/// Retire this many blocks before attempting a collection.
-const COLLECT_THRESHOLD: usize = 128;
-/// Local garbage level at which stragglers get ejected.
-const EJECT_THRESHOLD: usize = 1024;
+/// Retire this many blocks before attempting a collection. Public so tests
+/// derive garbage bounds from the same constant the scheme enforces.
+pub const COLLECT_THRESHOLD: usize = 128;
+/// Local garbage level at which stragglers get ejected. Public for the same
+/// derived-bound reason as [`COLLECT_THRESHOLD`].
+pub const EJECT_THRESHOLD: usize = 1024;
+
+/// Named fault-injection points compiled into this crate (each a
+/// `smr_common::fault_point!` site; no-ops without the `fault-injection`
+/// feature). DESIGN.md §1.7 documents the invariant each one attacks.
+pub const FAULT_POINTS: &[&str] = &[
+    "pebr::pin::before_validate",
+    "pebr::eject::after_mark",
+    "pebr::collect::before_advance",
+    "pebr::teardown::before_donate",
+];
 
 struct Participant {
     /// `(epoch << 1) | pinned`.
@@ -98,6 +110,9 @@ impl Collector {
                     blocked = true;
                     if eject {
                         p.ejected.store(true, Ordering::Release);
+                        // The straggler is marked but may not have observed
+                        // it yet; its next validate() must see the ejection.
+                        smr_common::fault_point!("pebr::eject::after_mark");
                     } else {
                         break;
                     }
@@ -153,6 +168,9 @@ impl LocalHandle {
         let mut e = self.global.epoch.load(Ordering::Relaxed);
         loop {
             self.record.state.store((e << 1) | 1, Ordering::Relaxed);
+            // A thread stalled here has announced a pin the reclaimer can
+            // only get past by ejecting it — PEBR's robustness mechanism.
+            smr_common::fault_point!("pebr::pin::before_validate");
             fence(Ordering::SeqCst);
             let e2 = self.global.epoch.load(Ordering::Relaxed);
             if e == e2 {
@@ -171,6 +189,7 @@ impl LocalHandle {
             self.garbage.append(&mut orphans);
         }
         let eject = self.garbage.len() >= EJECT_THRESHOLD;
+        smr_common::fault_point!("pebr::collect::before_advance");
         let global_epoch = self.global.try_advance(eject);
         let mut i = 0;
         while i < self.garbage.len() {
@@ -186,10 +205,20 @@ impl LocalHandle {
 
 impl Drop for LocalHandle {
     fn drop(&mut self) {
-        self.record.dead.store(true, Ordering::Release);
-        if !self.garbage.is_empty() {
-            self.global.orphans.lock().append(&mut self.garbage);
+        // Unregistration and donation must run even if teardown panics, so
+        // both live in a guard that runs during unwinding too.
+        struct Teardown<'a>(&'a mut LocalHandle);
+        impl Drop for Teardown<'_> {
+            fn drop(&mut self) {
+                let h = &mut *self.0;
+                h.record.dead.store(true, Ordering::Release);
+                if !h.garbage.is_empty() {
+                    h.global.orphans.lock().append(&mut h.garbage);
+                }
+            }
         }
+        let _g = Teardown(self);
+        smr_common::fault_point!("pebr::teardown::before_donate");
     }
 }
 

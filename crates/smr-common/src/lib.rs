@@ -20,11 +20,18 @@
 //!   registry.
 //! * [`time`] — a minimal monotonic-nanosecond clock used by the benchmark
 //!   harness's per-operation latency recording.
+//! * [`fault`] — named fault-injection points (compile-time no-ops unless
+//!   the `fault-injection` feature is on) driving the adversarial
+//!   robustness matrix in `tests/fault_matrix.rs`.
+//! * [`watchdog`] — [`GarbageWatchdog`](watchdog::GarbageWatchdog), which
+//!   classifies a run as healthy / degraded-bounded / growing-unbounded
+//!   from sampled progress + garbage counters (the Table 1 failure modes).
 
 #![warn(missing_docs)]
 
 pub mod atomic;
 pub mod counters;
+pub mod fault;
 pub mod fence;
 pub mod map;
 pub mod registry;
@@ -32,6 +39,7 @@ pub mod retired;
 pub mod tagged;
 pub mod time;
 pub mod util;
+pub mod watchdog;
 
 pub use atomic::{Atomic, Shared};
 pub use map::{ConcurrentMap, GuardedScheme, SchemeGuard};
