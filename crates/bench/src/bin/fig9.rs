@@ -1,11 +1,10 @@
 //! Figure 9: maximum throughput per category (list / tree), HP vs HP++,
-//! small and big key ranges — the contention crossover.
-//!
-//! HP is only applicable to HMList and EFRBTree; HP++ additionally unlocks
-//! HHSList and NMTree. Each category reports the best structure per scheme,
-//! exactly as the paper's "max throughput achievable in each category".
+//! small and big key ranges — the contention crossover. Plus the
+//! contention-machinery section: bags (stacks/queues) under oversubscribed
+//! write storms, bare CAS loops vs adaptive backoff vs elimination /
+//! optimistic variants.
 
-use bench::orchestrate::{run_scenario, Opts, Outcome};
+use bench::orchestrate::{emit_timeout, run_scenario, run_scenario_env, Opts, Outcome};
 use bench::{thread_sweep, Ds, Scenario, Scheme, Workload};
 
 fn best(
@@ -35,13 +34,124 @@ fn best(
             duration: opts.duration(),
             long_running: false,
         };
-        if let Outcome::Done(stats) = run_scenario(&sc, opts) {
-            if best.map(|(_, b)| stats.throughput_mops > b).unwrap_or(true) {
-                best = Some((ds, stats.throughput_mops));
+        match run_scenario(&sc, opts) {
+            Outcome::Done(stats) => {
+                if best.map(|(_, b)| stats.throughput_mops > b).unwrap_or(true) {
+                    best = Some((ds, stats.throughput_mops));
+                }
             }
+            // A wedged point must leave a trace with its full scenario
+            // (including the thread count), not silently vanish from the
+            // category maximum.
+            Outcome::Timeout => emit_timeout("fig9", &sc),
+            Outcome::Skipped | Outcome::Failed => {}
         }
     }
     best
+}
+
+/// Oversubscription sweep for the bags: thread counts *beyond* the host's
+/// parallelism, where descheduled CAS owners make spin-only retries
+/// pathological and yield/park backoff plus elimination pay off.
+fn contention_threads(quick: bool) -> Vec<usize> {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    if quick {
+        // Always oversubscribed on small CI hosts: 2x and 4x one core.
+        vec![cores, cores * 2, cores * 4]
+    } else {
+        vec![cores, cores * 2, cores * 3, cores * 4]
+    }
+}
+
+/// One bag scenario under a write-only storm.
+fn bag_scenario(ds: Ds, scheme: Scheme, threads: usize, opts: &Opts) -> Scenario {
+    Scenario {
+        ds,
+        scheme,
+        threads,
+        key_range: 256,
+        workload: Workload::WriteOnly,
+        zipf_theta: 0.0,
+        warmup: opts.warmup(),
+        duration: opts.duration(),
+        long_running: false,
+    }
+}
+
+/// A/B row: the same scenario with backoff disabled (`bare`) and enabled
+/// (`backoff`). Bare runs go through `run_scenario_env` so the subprocess
+/// reads `SMR_NO_BACKOFF=1` at startup.
+fn contention_section(opts: &Opts) {
+    println!();
+    println!("# Contention machinery: bags under oversubscribed write storms");
+    println!("ds,scheme,threads,mode,throughput_mops");
+    let pairs = [
+        (Ds::Stack, Scheme::Hp),
+        (Ds::ElimStack, Scheme::Hp),
+        (Ds::Stack, Scheme::Hpp),
+        (Ds::ElimStack, Scheme::Hpp),
+        (Ds::Queue, Scheme::Ebr),
+        (Ds::OptQueue, Scheme::Ebr),
+        (Ds::Queue, Scheme::Pebr),
+        (Ds::OptQueue, Scheme::Pebr),
+    ];
+    for threads in contention_threads(opts.quick) {
+        for (ds, scheme) in pairs {
+            for (mode, env) in [
+                ("bare", &[("SMR_NO_BACKOFF", "1")][..]),
+                ("backoff", &[][..]),
+            ] {
+                let sc = bag_scenario(ds, scheme, threads, opts);
+                match run_scenario_env(&sc, opts, env) {
+                    Outcome::Done(stats) => {
+                        println!("{ds},{scheme},{threads},{mode},{:.4}", stats.throughput_mops);
+                    }
+                    Outcome::Timeout => emit_timeout("fig9", &sc),
+                    Outcome::Skipped | Outcome::Failed => {}
+                }
+            }
+        }
+    }
+    println!();
+    println!("# Expectation: at threads > cores, backoff beats bare (descheduled");
+    println!("# CAS winners stall spinners), and elimination/optimistic variants");
+    println!("# beat their plain counterparts by decongesting the hot ends.");
+}
+
+/// Adversarial mix: long-running scans (read-most over a big range) racing
+/// a write storm on the same structure class — checks that the contention
+/// machinery does not starve readers.
+fn scan_storm_section(opts: &Opts) {
+    println!();
+    println!("# Long-running scans + write storm (lists, read-most vs write-only)");
+    println!("ds,scheme,threads,workload,throughput_mops,peak_garbage");
+    let sweep = contention_threads(opts.quick);
+    let threads = sweep[1.min(sweep.len() - 1)];
+    for scheme in [Scheme::Ebr, Scheme::Pebr, Scheme::Hpp] {
+        for workload in [Workload::ReadMost, Workload::WriteOnly] {
+            let sc = Scenario {
+                ds: Ds::HHSList,
+                scheme,
+                threads,
+                key_range: if opts.quick { 1_000 } else { 10_000 },
+                workload,
+                zipf_theta: opts.zipf,
+                warmup: opts.warmup(),
+                duration: opts.duration(),
+                long_running: false,
+            };
+            match run_scenario(&sc, opts) {
+                Outcome::Done(stats) => println!(
+                    "{},{scheme},{threads},{workload},{:.4},{}",
+                    sc.ds, stats.throughput_mops, stats.peak_garbage
+                ),
+                Outcome::Timeout => emit_timeout("fig9", &sc),
+                Outcome::Skipped | Outcome::Failed => {}
+            }
+        }
+    }
 }
 
 fn main() {
@@ -66,4 +176,7 @@ fn main() {
     println!("# Expectation (paper): under heavy contention (small range) or for");
     println!("# trees, HP++'s access to the optimistic structures (HHSList, NMTree)");
     println!("# beats the best HP-compatible structure by a large margin.");
+
+    contention_section(&opts);
+    scan_storm_section(&opts);
 }

@@ -21,10 +21,20 @@ pub enum Ds {
     EFRBTree,
     /// Non-blocking Bonsai tree (COW path-copy).
     BonsaiTree,
+    /// Treiber stack (bag adapter).
+    Stack,
+    /// Treiber stack + elimination array (bag adapter).
+    ElimStack,
+    /// Michael–Scott queue (bag adapter).
+    Queue,
+    /// Ladan-Mozes–Shavit optimistic queue (bag adapter).
+    OptQueue,
 }
 
 impl Ds {
-    /// All structures, in the paper's presentation order.
+    /// All *map* structures, in the paper's presentation order. The bag
+    /// structures (stacks/queues) are deliberately excluded: they are driven
+    /// by the contention-machinery benches, not the paper's figure sweeps.
     pub const ALL: [Ds; 7] = [
         Ds::HMList,
         Ds::HHSList,
@@ -34,6 +44,14 @@ impl Ds {
         Ds::EFRBTree,
         Ds::BonsaiTree,
     ];
+
+    /// The bag structures benchmarked by the contention-machinery section.
+    pub const BAGS: [Ds; 4] = [Ds::Stack, Ds::ElimStack, Ds::Queue, Ds::OptQueue];
+
+    /// Is this a bag (stack/queue) rather than a map?
+    pub fn is_bag(self) -> bool {
+        matches!(self, Ds::Stack | Ds::ElimStack | Ds::Queue | Ds::OptQueue)
+    }
 
     /// Is this a list-shaped structure (paper: small range 16 / big 10K)?
     pub fn is_list(self) -> bool {
@@ -69,6 +87,10 @@ impl fmt::Display for Ds {
             Ds::NMTree => "nmtree",
             Ds::EFRBTree => "efrbtree",
             Ds::BonsaiTree => "bonsai",
+            Ds::Stack => "stack",
+            Ds::ElimStack => "elimstack",
+            Ds::Queue => "queue",
+            Ds::OptQueue => "optqueue",
         };
         f.write_str(s)
     }
@@ -85,6 +107,10 @@ impl FromStr for Ds {
             "nmtree" => Ok(Ds::NMTree),
             "efrbtree" => Ok(Ds::EFRBTree),
             "bonsai" => Ok(Ds::BonsaiTree),
+            "stack" => Ok(Ds::Stack),
+            "elimstack" => Ok(Ds::ElimStack),
+            "queue" => Ok(Ds::Queue),
+            "optqueue" => Ok(Ds::OptQueue),
             _ => Err(format!("unknown data structure: {s}")),
         }
     }
@@ -281,10 +307,21 @@ mod tests {
 
     #[test]
     fn ds_roundtrip() {
-        for ds in Ds::ALL {
+        for ds in Ds::ALL.into_iter().chain(Ds::BAGS) {
             assert_eq!(ds.to_string().parse::<Ds>().unwrap(), ds);
         }
         assert!("noexist".parse::<Ds>().is_err());
+    }
+
+    #[test]
+    fn bags_are_disjoint_from_maps() {
+        for bag in Ds::BAGS {
+            assert!(bag.is_bag());
+            assert!(!Ds::ALL.contains(&bag), "bags stay out of figure sweeps");
+        }
+        for ds in Ds::ALL {
+            assert!(!ds.is_bag());
+        }
     }
 
     #[test]

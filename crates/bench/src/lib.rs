@@ -20,6 +20,7 @@ pub mod config;
 pub mod metrics;
 pub mod orchestrate;
 pub mod runner;
+pub mod snapshot;
 pub mod workload;
 
 pub use config::{thread_sweep, Ds, Scenario, Scheme, Workload};

@@ -139,10 +139,25 @@ fn run_with_deadline(cmd: &mut Command, deadline: Duration) -> std::io::Result<C
 /// one retry after a short backoff; a second overrun yields
 /// [`Outcome::Timeout`].
 pub fn run_scenario(sc: &Scenario, opts: &Opts) -> Outcome {
+    run_scenario_env(sc, opts, &[])
+}
+
+/// Like [`run_scenario`], with extra environment variables for the
+/// subprocess. This is how A/B sweeps toggle process-wide knobs per run
+/// (e.g. `SMR_NO_BACKOFF=1` for the bare-CAS baseline): the knob is read
+/// once at subprocess startup, so each scenario gets a clean setting.
+///
+/// In `--in-process` mode the variables are set in this process instead —
+/// best effort only, since knobs cached in a `OnceLock` (like the backoff
+/// config) latch whatever the first scenario saw.
+pub fn run_scenario_env(sc: &Scenario, opts: &Opts, env: &[(&str, &str)]) -> Outcome {
     if !crate::runner::applicable(sc.ds, sc.scheme) {
         return Outcome::Skipped;
     }
     if opts.in_process {
+        for (k, v) in env {
+            std::env::set_var(k, v);
+        }
         return match crate::runner::run(sc) {
             Some(stats) => Outcome::Done(stats),
             None => Outcome::Failed,
@@ -181,6 +196,7 @@ pub fn run_scenario(sc: &Scenario, opts: &Opts) -> Outcome {
         } else {
             vec![]
         });
+        cmd.envs(env.iter().map(|&(k, v)| (k, v)));
         let result = run_with_deadline(&mut cmd, deadline)
             .expect("failed to spawn smr_bench; run via cargo so sibling binaries are built");
         match result {
@@ -233,13 +249,20 @@ pub fn emit(name: &str, sc: &Scenario, stats: &Stats) {
     emit_row(name, format!("{},{}", sc.csv_prefix(), stats.csv_suffix()));
 }
 
-/// Records a timed-out scenario: every stat column reads `timeout`, so the
-/// row is visible in the CSV but skipped by numeric consumers (verdict,
-/// plot) when its fields fail to parse.
-pub fn emit_timeout(name: &str, sc: &Scenario) {
+/// The full CSV row for a timed-out scenario: the complete scenario prefix
+/// (ds, scheme, **threads**, key range, …) followed by `timeout` in every
+/// stat column, so the row matches [`Scenario::CSV_HEADER`] column-for-
+/// column and numeric consumers (verdict, plot) skip it on parse failure
+/// without losing which configuration wedged.
+pub fn timeout_row(sc: &Scenario) -> String {
     let stat_cols = Scenario::CSV_HEADER.split(',').count() - sc.csv_prefix().split(',').count();
     let suffix = vec!["timeout"; stat_cols].join(",");
-    emit_row(name, format!("{},{suffix}", sc.csv_prefix()));
+    format!("{},{suffix}", sc.csv_prefix())
+}
+
+/// Records a timed-out scenario (see [`timeout_row`]).
+pub fn emit_timeout(name: &str, sc: &Scenario) {
+    emit_row(name, timeout_row(sc));
 }
 
 fn emit_row(name: &str, row: String) {
@@ -294,6 +317,35 @@ mod tests {
     #[test]
     fn short_lines_are_rejected() {
         assert!(parse_csv_line("a,b,c").is_none());
+    }
+
+    /// A timeout row must keep the full 15-column schema — in particular
+    /// the scenario's thread count, which identifies *which* point of a
+    /// sweep wedged. (Regression: consumers aligning columns by header
+    /// index mis-parsed short timeout rows.)
+    #[test]
+    fn timeout_row_keeps_full_schema_and_threads() {
+        let sc = Scenario {
+            ds: Ds::SkipList,
+            scheme: Scheme::Hp,
+            threads: 48,
+            key_range: 100_000,
+            workload: Workload::WriteOnly,
+            zipf_theta: 0.6,
+            warmup: Duration::from_millis(250),
+            duration: Duration::from_secs(3),
+            long_running: false,
+        };
+        let row = timeout_row(&sc);
+        let header_cols = Scenario::CSV_HEADER.split(',').count();
+        let fields: Vec<&str> = row.split(',').collect();
+        assert_eq!(fields.len(), header_cols, "row must match the header");
+        assert_eq!(fields[0], "skiplist");
+        assert_eq!(fields[1], "hp");
+        assert_eq!(fields[2], "48", "thread count must survive a timeout");
+        assert!(fields[7..].iter().all(|f| *f == "timeout"));
+        // And the stats parser must reject it rather than misread it.
+        assert!(parse_csv_line(&row).is_none());
     }
 
     #[test]

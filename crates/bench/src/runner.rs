@@ -275,6 +275,12 @@ pub fn applicable(ds: Ds, scheme: Scheme) -> bool {
         // CDRC implemented for the list-shaped structures (the paper also
         // omits the RC trees).
         (Ds::SkipList | Ds::NMTree | Ds::EFRBTree | Ds::BonsaiTree, Scheme::Rc) => false,
+        // Bags: the stacks are HP-family only; MSQueue additionally has a
+        // guarded flavor; the optimistic queue is guarded-only (its lazy
+        // prev repair needs whole-structure protection).
+        (Ds::Stack | Ds::ElimStack, s) => matches!(s, Scheme::Hp | Scheme::Hpp),
+        (Ds::Queue, s) => matches!(s, Scheme::Hp | Scheme::Nr | Scheme::Ebr | Scheme::Pebr),
+        (Ds::OptQueue, s) => matches!(s, Scheme::Nr | Scheme::Ebr | Scheme::Pebr),
         _ => true,
     }
 }
@@ -282,6 +288,7 @@ pub fn applicable(ds: Ds, scheme: Scheme) -> bool {
 /// Dispatches a scenario to the concrete (structure × scheme) type.
 /// Returns `None` for inapplicable pairs.
 pub fn run(sc: &Scenario) -> Option<Stats> {
+    use ds::bag::BagMap;
     use ds::guarded;
     use ds::hp as dshp;
     use ds::hpp;
@@ -349,6 +356,29 @@ pub fn run(sc: &Scenario) -> Option<Stats> {
             Scheme::Hpp => Some(run_map::<hpp::BonsaiTree<u64, u64>>(sc)),
             _ => None,
         }),
+        Ds::Stack => match sc.scheme {
+            Scheme::Hp => Some(run_map::<BagMap<dshp::TreiberStack<u64>>>(sc)),
+            Scheme::Hpp => Some(run_map::<BagMap<hpp::TreiberStack<u64>>>(sc)),
+            _ => None,
+        },
+        Ds::ElimStack => match sc.scheme {
+            Scheme::Hp => Some(run_map::<BagMap<dshp::ElimStack<u64>>>(sc)),
+            Scheme::Hpp => Some(run_map::<BagMap<hpp::ElimStack<u64>>>(sc)),
+            _ => None,
+        },
+        Ds::Queue => match sc.scheme {
+            Scheme::Hp => Some(run_map::<BagMap<dshp::MSQueue<u64>>>(sc)),
+            Scheme::Nr => Some(run_map::<BagMap<guarded::MSQueue<u64, nr::Nr>>>(sc)),
+            Scheme::Ebr => Some(run_map::<BagMap<guarded::MSQueue<u64, ebr::Ebr>>>(sc)),
+            Scheme::Pebr => Some(run_map::<BagMap<guarded::MSQueue<u64, pebr::Pebr>>>(sc)),
+            _ => None,
+        },
+        Ds::OptQueue => match sc.scheme {
+            Scheme::Nr => Some(run_map::<BagMap<guarded::OptQueue<u64, nr::Nr>>>(sc)),
+            Scheme::Ebr => Some(run_map::<BagMap<guarded::OptQueue<u64, ebr::Ebr>>>(sc)),
+            Scheme::Pebr => Some(run_map::<BagMap<guarded::OptQueue<u64, pebr::Pebr>>>(sc)),
+            _ => None,
+        },
     }
 }
 
@@ -384,6 +414,47 @@ mod tests {
         }
         // The headline asymmetry: HP++ covers every structure.
         assert!(Ds::ALL.iter().all(|&ds| applicable(ds, Scheme::Hpp)));
+    }
+
+    /// The bag structures have their own applicability rules: stacks are
+    /// HP-family only, MSQueue adds the guarded schemes, and the optimistic
+    /// queue is guarded-only.
+    #[test]
+    fn bag_applicability_rules() {
+        for scheme in Scheme::ALL {
+            let stackish = matches!(scheme, Scheme::Hp | Scheme::Hpp);
+            assert_eq!(applicable(Ds::Stack, scheme), stackish);
+            assert_eq!(applicable(Ds::ElimStack, scheme), stackish);
+            assert_eq!(
+                applicable(Ds::Queue, scheme),
+                matches!(scheme, Scheme::Hp | Scheme::Nr | Scheme::Ebr | Scheme::Pebr)
+            );
+            assert_eq!(
+                applicable(Ds::OptQueue, scheme),
+                matches!(scheme, Scheme::Nr | Scheme::Ebr | Scheme::Pebr)
+            );
+        }
+    }
+
+    /// Bag smoke runs: drive an elimination stack and the optimistic queue
+    /// through the standard workload engine under a write-heavy mix.
+    #[test]
+    fn bag_smoke_runs() {
+        for (ds, scheme) in [(Ds::ElimStack, Scheme::Hp), (Ds::OptQueue, Scheme::Ebr)] {
+            let sc = Scenario {
+                ds,
+                scheme,
+                threads: 2,
+                key_range: 64,
+                workload: crate::config::Workload::WriteOnly,
+                zipf_theta: 0.0,
+                warmup: Duration::from_millis(10),
+                duration: Duration::from_millis(40),
+                long_running: false,
+            };
+            let stats = run(&sc).expect("bag pair must be applicable");
+            assert!(stats.throughput_mops > 0.0, "{ds}/{scheme} must make progress");
+        }
     }
 
     /// End-to-end smoke run exercising warmup, skewed keys, and the latency

@@ -1,0 +1,376 @@
+//! Per-PR performance snapshots (`BENCH_pr<N>.json`) and the trajectory
+//! gate that compares a fresh measurement against the committed baseline.
+//!
+//! The snapshot is a flat map of metric name → value, serialized as
+//! hand-rolled JSON (the workspace deliberately carries no serde). Metric
+//! names carry their comparison direction in the first dotted segment:
+//!
+//! * `mops.*` — throughput, higher is better;
+//! * `ns.*` — per-op latency/cost, lower is better;
+//! * `garbage.*` — peak unreclaimed nodes, lower is better, but
+//!   **informational only**: peak garbage on a sub-second quick run is a
+//!   race between the sampler and whichever scan cycle happened to land
+//!   inside the window (back-to-back runs differ by 10–70×), so it is
+//!   tracked in the snapshot and printed in the comparison without ever
+//!   failing the gate.
+//!
+//! [`compare`] classifies each metric shared by two snapshots and the CI
+//! step (`bench_snapshot --gate`) fails when any gating metric regresses
+//! by more than the tolerance (default 10%, `SMR_BENCH_TOLERANCE`
+//! overrides). Metrics present on only one side are reported but never
+//! fail the gate, so adding or retiring metrics does not wedge CI.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Which way "better" points for a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Throughput-like: bigger numbers win.
+    HigherIsBetter,
+    /// Cost-like: smaller numbers win.
+    LowerIsBetter,
+}
+
+/// Infers the direction from the metric name's leading segment.
+pub fn direction(metric: &str) -> Direction {
+    if metric.starts_with("mops.") {
+        Direction::HigherIsBetter
+    } else {
+        // ns.*, garbage.*, and anything unrecognized: treat as a cost so a
+        // typo'd name cannot silently pass by "improving".
+        Direction::LowerIsBetter
+    }
+}
+
+/// Whether a regression in this metric fails the gate. `garbage.*` is
+/// tracked for trajectory but too sampler-timing-sensitive to gate on.
+pub fn gates(metric: &str) -> bool {
+    !metric.starts_with("garbage.")
+}
+
+/// One measured snapshot: an ordered list of (metric, value) pairs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Metric name → value, in insertion order.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl Snapshot {
+    /// Creates an empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a metric (replacing an earlier value of the same name).
+    pub fn record(&mut self, name: &str, value: f64) {
+        if let Some(slot) = self.metrics.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = value;
+        } else {
+            self.metrics.push((name.to_string(), value));
+        }
+    }
+
+    /// Looks up a metric by name.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.metrics.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Serializes to the `BENCH_pr*.json` format.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"schema\": 1,\n  \"metrics\": {\n");
+        for (i, (name, value)) in self.metrics.iter().enumerate() {
+            let comma = if i + 1 < self.metrics.len() { "," } else { "" };
+            // {:.6} keeps the file diff-stable across runs of equal value.
+            let _ = writeln!(s, "    \"{name}\": {value:.6}{comma}");
+        }
+        s.push_str("  }\n}\n");
+        s
+    }
+
+    /// Parses the `BENCH_pr*.json` format. Only the flat shape emitted by
+    /// [`Snapshot::to_json`] is supported: one `"metrics"` object of
+    /// string → number pairs; nested objects or arrays are rejected.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let metrics_at = text
+            .find("\"metrics\"")
+            .ok_or_else(|| "missing \"metrics\" key".to_string())?;
+        let rest = &text[metrics_at..];
+        let open = rest
+            .find('{')
+            .ok_or_else(|| "missing metrics object".to_string())?;
+        let body = &rest[open + 1..];
+        let close = body
+            .find('}')
+            .ok_or_else(|| "unterminated metrics object".to_string())?;
+        let mut snap = Snapshot::new();
+        for entry in body[..close].split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (key, value) = entry
+                .split_once(':')
+                .ok_or_else(|| format!("malformed entry: {entry}"))?;
+            let key = key.trim().trim_matches('"');
+            if key.is_empty() {
+                return Err(format!("empty metric name in: {entry}"));
+            }
+            let value: f64 = value
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad value for {key}: {e}"))?;
+            snap.record(key, value);
+        }
+        Ok(snap)
+    }
+}
+
+/// Verdict for one metric shared by baseline and current.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// Metric name.
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Signed relative change toward "worse": positive = regression
+    /// fraction, negative = improvement, regardless of direction.
+    pub regression: f64,
+    /// Whether `regression` exceeds the tolerance.
+    pub failed: bool,
+}
+
+/// Result of comparing a current snapshot against a baseline.
+#[derive(Debug, Default)]
+pub struct Comparison {
+    /// Per-metric verdicts for metrics present on both sides.
+    pub deltas: Vec<Delta>,
+    /// Metrics only in the baseline (retired) or only current (new).
+    pub unmatched: Vec<String>,
+}
+
+impl Comparison {
+    /// Whether any shared metric regressed beyond tolerance.
+    pub fn failed(&self) -> bool {
+        self.deltas.iter().any(|d| d.failed)
+    }
+
+    /// Human-readable verdict table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.deltas {
+            let mark = if d.failed {
+                "FAIL"
+            } else if !gates(&d.metric) {
+                "info"
+            } else if d.regression < 0.0 {
+                "ok +"
+            } else {
+                "ok  "
+            };
+            let _ = writeln!(
+                out,
+                "{mark} {:<40} {:>12.4} -> {:>12.4} ({:+.1}%)",
+                d.metric,
+                d.baseline,
+                d.current,
+                -d.regression * 100.0
+            );
+        }
+        for m in &self.unmatched {
+            let _ = writeln!(out, "---- {m:<40} (unmatched; not gated)");
+        }
+        out
+    }
+}
+
+/// Compares `current` against `baseline` with a relative tolerance
+/// (`0.10` = fail on >10% regression). Direction comes from each metric's
+/// name; near-zero baselines are compared on absolute noise floor instead
+/// of exploding the relative delta.
+pub fn compare(baseline: &Snapshot, current: &Snapshot, tolerance: f64) -> Comparison {
+    let mut cmp = Comparison::default();
+    for (name, base) in &baseline.metrics {
+        let Some(cur) = current.get(name) else {
+            cmp.unmatched.push(format!("{name} (baseline only)"));
+            continue;
+        };
+        // "worse" is less throughput or more cost.
+        let worse = match direction(name) {
+            Direction::HigherIsBetter => *base - cur,
+            Direction::LowerIsBetter => cur - *base,
+        };
+        let floor = base.abs().max(1e-9);
+        let regression = worse / floor;
+        cmp.deltas.push(Delta {
+            metric: name.clone(),
+            baseline: *base,
+            current: cur,
+            regression,
+            failed: gates(name) && regression > tolerance,
+        });
+    }
+    for (name, _) in &current.metrics {
+        if baseline.get(name).is_none() {
+            cmp.unmatched.push(format!("{name} (current only)"));
+        }
+    }
+    cmp
+}
+
+/// Finds the committed baseline: the `BENCH_pr<N>.json` with the largest
+/// `N` in `dir`. Returns `None` when no snapshot has been committed yet.
+pub fn find_baseline(dir: &Path) -> Option<(u32, PathBuf)> {
+    let mut best: Option<(u32, PathBuf)> = None;
+    for entry in std::fs::read_dir(dir).ok()?.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let Some(n) = name
+            .strip_prefix("BENCH_pr")
+            .and_then(|s| s.strip_suffix(".json"))
+            .and_then(|s| s.parse::<u32>().ok())
+        else {
+            continue;
+        };
+        if best.as_ref().map(|&(b, _)| n > b).unwrap_or(true) {
+            best = Some((n, entry.path()));
+        }
+    }
+    best
+}
+
+/// The gate tolerance: `SMR_BENCH_TOLERANCE` (a fraction, e.g. `0.15`) or
+/// the default 10%.
+pub fn tolerance_from_env() -> f64 {
+    std::env::var("SMR_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(pairs: &[(&str, f64)]) -> Snapshot {
+        let mut s = Snapshot::new();
+        for &(k, v) in pairs {
+            s.record(k, v);
+        }
+        s
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_metrics() {
+        let s = snap(&[
+            ("mops.fig8.hmlist.ebr.t2", 1.2345),
+            ("ns.protect.hp", 17.0),
+            ("garbage.fig8.hmlist.hp.t2", 42.0),
+        ]);
+        let parsed = Snapshot::from_json(&s.to_json()).expect("roundtrip");
+        assert_eq!(parsed.metrics.len(), 3);
+        for (k, v) in &s.metrics {
+            assert!((parsed.get(k).unwrap() - v).abs() < 1e-6, "{k}");
+        }
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(Snapshot::from_json("{}").is_err());
+        assert!(Snapshot::from_json("{\"metrics\": {\"a\": nope}}").is_err());
+        assert!(Snapshot::from_json("not json at all").is_err());
+    }
+
+    #[test]
+    fn record_replaces_in_place() {
+        let mut s = snap(&[("ns.a", 1.0), ("ns.b", 2.0)]);
+        s.record("ns.a", 9.0);
+        assert_eq!(s.get("ns.a"), Some(9.0));
+        assert_eq!(s.metrics.len(), 2);
+        assert_eq!(s.metrics[0].0, "ns.a", "order is stable under update");
+    }
+
+    #[test]
+    fn direction_follows_name_prefix() {
+        assert_eq!(direction("mops.anything"), Direction::HigherIsBetter);
+        assert_eq!(direction("ns.protect.hp"), Direction::LowerIsBetter);
+        assert_eq!(direction("garbage.peak"), Direction::LowerIsBetter);
+        // Unknown prefixes gate as costs, not free passes.
+        assert_eq!(direction("bogus.metric"), Direction::LowerIsBetter);
+    }
+
+    #[test]
+    fn compare_is_direction_aware() {
+        let base = snap(&[("mops.x", 10.0), ("ns.y", 100.0)]);
+        // Throughput down 20%, latency up 20%: both regressions.
+        let worse = snap(&[("mops.x", 8.0), ("ns.y", 120.0)]);
+        let cmp = compare(&base, &worse, 0.10);
+        assert!(cmp.failed());
+        assert!(cmp.deltas.iter().all(|d| d.failed));
+        // Throughput up, latency down: both improvements.
+        let better = snap(&[("mops.x", 12.0), ("ns.y", 80.0)]);
+        let cmp = compare(&base, &better, 0.10);
+        assert!(!cmp.failed());
+        assert!(cmp.deltas.iter().all(|d| d.regression < 0.0));
+    }
+
+    #[test]
+    fn tolerance_bounds_the_gate() {
+        let base = snap(&[("mops.x", 10.0)]);
+        let slightly_worse = snap(&[("mops.x", 9.5)]);
+        assert!(!compare(&base, &slightly_worse, 0.10).failed(), "5% < 10%");
+        assert!(compare(&base, &slightly_worse, 0.01).failed(), "5% > 1%");
+    }
+
+    #[test]
+    fn garbage_metrics_are_informational() {
+        let base = snap(&[("garbage.fig8.x", 9.0), ("mops.x", 10.0)]);
+        // 68x garbage blowup (real back-to-back observation) must not gate.
+        let cur = snap(&[("garbage.fig8.x", 615.0), ("mops.x", 10.0)]);
+        let cmp = compare(&base, &cur, 0.10);
+        assert!(!cmp.failed());
+        assert!(cmp.render().contains("info"));
+        // But garbage deltas are still computed and visible.
+        let d = cmp.deltas.iter().find(|d| d.metric.starts_with("garbage")).unwrap();
+        assert!(d.regression > 10.0);
+    }
+
+    #[test]
+    fn unmatched_metrics_never_fail() {
+        let base = snap(&[("mops.x", 10.0), ("ns.retired", 5.0)]);
+        let cur = snap(&[("mops.x", 10.0), ("ns.brand_new", 99.0)]);
+        let cmp = compare(&base, &cur, 0.10);
+        assert!(!cmp.failed());
+        assert_eq!(cmp.unmatched.len(), 2);
+        assert!(cmp.render().contains("not gated"));
+    }
+
+    #[test]
+    fn baseline_discovery_picks_max_pr() {
+        let dir = std::env::temp_dir().join(format!("snaptest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for n in [3, 11, 7] {
+            std::fs::write(
+                dir.join(format!("BENCH_pr{n}.json")),
+                snap(&[("mops.x", n as f64)]).to_json(),
+            )
+            .unwrap();
+        }
+        std::fs::write(dir.join("BENCH_prX.json"), "junk").unwrap();
+        let (n, path) = find_baseline(&dir).expect("snapshots exist");
+        assert_eq!(n, 11);
+        let loaded = Snapshot::from_json(&std::fs::read_to_string(path).unwrap()).unwrap();
+        assert_eq!(loaded.get("mops.x"), Some(11.0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_dir_has_no_baseline() {
+        let dir = std::env::temp_dir().join(format!("snapempty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(find_baseline(&dir).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -8,7 +8,7 @@ use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed};
 
 use cdrc::{alloc, defer_decr, incr, Counted, LocalHandle};
 use smr_common::tagged::TAG_DELETED;
-use smr_common::{Atomic, ConcurrentMap, Shared};
+use smr_common::{Atomic, Backoff, ConcurrentMap, Shared};
 
 use super::Node;
 
@@ -121,6 +121,7 @@ where
             value,
         });
         let node_ref = unsafe { node.deref() };
+        let mut backoff = Backoff::new();
         loop {
             let r = self.find(&node_ref.key, &guard);
             if r.found {
@@ -144,13 +145,17 @@ where
                     }
                     return true;
                 }
-                Err(_) => continue,
+                Err(_) => {
+                    backoff.cas_failed();
+                    continue;
+                }
             }
         }
     }
 
     pub(crate) fn remove_impl(&self, handle: &mut LocalHandle, key: &K) -> Option<V> {
         let guard = handle.pin();
+        let mut backoff = Backoff::new();
         loop {
             let r = self.find(key, &guard);
             if !r.found {
@@ -159,6 +164,7 @@ where
             let cur_node = unsafe { r.cur.deref() };
             let next = cur_node.next.fetch_or_tag(TAG_DELETED, AcqRel);
             if next.tag() & TAG_DELETED != 0 {
+                backoff.cas_failed();
                 continue;
             }
             let value = cur_node.value.clone();

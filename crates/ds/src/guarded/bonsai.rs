@@ -3,7 +3,7 @@
 use std::marker::PhantomData;
 use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed};
 
-use smr_common::{Atomic, ConcurrentMap, GuardedScheme, SchemeGuard, Shared};
+use smr_common::{Atomic, Backoff, ConcurrentMap, GuardedScheme, SchemeGuard, Shared};
 
 use crate::bonsai_core::{Builder, Node, Protector, Restart};
 
@@ -75,6 +75,7 @@ where
 
     pub(crate) fn insert_impl(&self, handle: &mut S::Handle, key: K, value: V) -> bool {
         let mut guard = S::pin(handle);
+        let mut backoff = Backoff::new();
         loop {
             if !guard.validate() {
                 guard.refresh();
@@ -100,7 +101,10 @@ where
                             }
                             return true;
                         }
-                        Err(_) => b.abort(),
+                        Err(_) => {
+                            b.abort();
+                            backoff.cas_failed();
+                        }
                     }
                 }
             }
@@ -109,6 +113,7 @@ where
 
     pub(crate) fn remove_impl(&self, handle: &mut S::Handle, key: &K) -> Option<V> {
         let mut guard = S::pin(handle);
+        let mut backoff = Backoff::new();
         loop {
             if !guard.validate() {
                 guard.refresh();
@@ -134,7 +139,10 @@ where
                             }
                             return Some(value);
                         }
-                        Err(_) => b.abort(),
+                        Err(_) => {
+                            b.abort();
+                            backoff.cas_failed();
+                        }
                     }
                 }
             }

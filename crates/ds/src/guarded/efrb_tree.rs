@@ -11,7 +11,7 @@
 use std::marker::PhantomData;
 use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed};
 
-use smr_common::{Atomic, ConcurrentMap, GuardedScheme, SchemeGuard, Shared};
+use smr_common::{Atomic, Backoff, ConcurrentMap, GuardedScheme, SchemeGuard, Shared};
 
 use super::nm_tree::NmKey;
 
@@ -269,6 +269,7 @@ where
         let mut guard = S::pin(handle);
         let key = NmKey::Fin(key.clone());
         let mut stash: Stash<K, V> = None;
+        let mut backoff = Backoff::new();
         loop {
             if !guard.validate() {
                 guard.refresh();
@@ -327,6 +328,7 @@ where
                     unsafe { op.drop_owned() };
                     let internal = unsafe { Box::from_raw(internal_ptr.as_raw()) };
                     stash = Some((internal, new_leaf));
+                    backoff.cas_failed();
                 }
             }
         }
@@ -335,6 +337,7 @@ where
     pub(crate) fn remove_impl(&self, handle: &mut S::Handle, key: &K) -> Option<V> {
         let mut guard = S::pin(handle);
         let key = NmKey::Fin(key.clone());
+        let mut backoff = Backoff::new();
         loop {
             if !guard.validate() {
                 guard.refresh();
@@ -377,6 +380,7 @@ where
                 }
                 Err(_) => {
                     unsafe { op.drop_owned() };
+                    backoff.cas_failed();
                 }
             }
         }

@@ -10,7 +10,7 @@ use std::marker::PhantomData;
 use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed};
 
 use smr_common::tagged::TAG_DELETED;
-use smr_common::{Atomic, ConcurrentMap, GuardedScheme, SchemeGuard, Shared};
+use smr_common::{Atomic, Backoff, ConcurrentMap, GuardedScheme, SchemeGuard, Shared};
 
 pub(crate) struct Node<K, V> {
     pub(crate) next: Atomic<Node<K, V>>,
@@ -151,6 +151,7 @@ where
             key,
             value,
         });
+        let mut backoff = Backoff::new();
         loop {
             let r = self.find(&node.key, &mut guard);
             if r.found {
@@ -162,6 +163,7 @@ where
                 Ok(_) => return true,
                 Err(_) => {
                     node = unsafe { Box::from_raw(new.as_raw()) };
+                    backoff.cas_failed();
                 }
             }
         }
@@ -172,6 +174,7 @@ where
         V: Clone,
     {
         let mut guard = S::pin(handle);
+        let mut backoff = Backoff::new();
         loop {
             let r = self.find(key, &mut guard);
             if !r.found {
@@ -180,6 +183,7 @@ where
             let cur_node = unsafe { r.cur.deref() };
             let next = cur_node.next.fetch_or_tag(TAG_DELETED, AcqRel);
             if next.tag() & TAG_DELETED != 0 {
+                backoff.cas_failed();
                 continue; // another deleter won
             }
             let value = cur_node.value.clone();

@@ -8,7 +8,7 @@ use std::marker::PhantomData;
 use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed};
 
 use smr_common::tagged::TAG_DELETED;
-use smr_common::{Atomic, ConcurrentMap, GuardedScheme, SchemeGuard, Shared};
+use smr_common::{Atomic, Backoff, ConcurrentMap, GuardedScheme, SchemeGuard, Shared};
 
 pub(crate) struct Node<K, V> {
     pub(crate) next: Atomic<Node<K, V>>,
@@ -128,6 +128,7 @@ where
             key,
             value,
         });
+        let mut backoff = Backoff::new();
         loop {
             let r = self.find(&node.key, &mut guard);
             if r.found {
@@ -139,6 +140,7 @@ where
                 Ok(_) => return true,
                 Err(_) => {
                     node = unsafe { Box::from_raw(new.as_raw()) };
+                    backoff.cas_failed();
                 }
             }
         }
@@ -149,6 +151,7 @@ where
         V: Clone,
     {
         let mut guard = S::pin(handle);
+        let mut backoff = Backoff::new();
         loop {
             let r = self.find(key, &mut guard);
             if !r.found {
@@ -158,6 +161,7 @@ where
             // Logically delete. If someone else marked first, retry.
             let next = cur_node.next.fetch_or_tag(TAG_DELETED, AcqRel);
             if next.tag() & TAG_DELETED != 0 {
+                backoff.cas_failed();
                 continue;
             }
             let value = cur_node.value.clone();

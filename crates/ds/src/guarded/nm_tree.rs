@@ -10,7 +10,7 @@
 use std::marker::PhantomData;
 use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed};
 
-use smr_common::{Atomic, ConcurrentMap, GuardedScheme, SchemeGuard, Shared};
+use smr_common::{Atomic, Backoff, ConcurrentMap, GuardedScheme, SchemeGuard, Shared};
 
 /// Edge bit: deletion of the pointed-to leaf is in progress (injection).
 pub(crate) const FLAG: usize = 0b001;
@@ -273,6 +273,7 @@ where
     pub(crate) fn insert_impl(&self, handle: &mut S::Handle, key: K, value: V) -> bool {
         let mut guard = S::pin(handle);
         let mut stash: Stash<K, V> = None;
+        let mut backoff = Backoff::new();
         loop {
             if !guard.validate() {
                 guard.refresh();
@@ -330,6 +331,7 @@ where
                 Err(_) => {
                     let internal = unsafe { Box::from_raw(internal_ptr.as_raw()) };
                     stash = Some((internal, new_leaf));
+                    backoff.cas_failed();
                 }
             }
         }
@@ -337,6 +339,7 @@ where
 
     pub(crate) fn remove_impl(&self, handle: &mut S::Handle, key: &K) -> Option<V> {
         let mut guard = S::pin(handle);
+        let mut backoff = Backoff::new();
         // Phase 1: injection.
         let (target_leaf, value) = loop {
             if !guard.validate() {
@@ -370,7 +373,10 @@ where
                     let v = leaf_node.value.clone();
                     break (leaf, v);
                 }
-                Err(_) => continue,
+                Err(_) => {
+                    backoff.cas_failed();
+                    continue;
+                }
             }
         };
 

@@ -1,0 +1,256 @@
+//! Optimistic FIFO queue (Ladan-Mozes & Shavit 2004) for guard-based
+//! schemes.
+//!
+//! The Michael–Scott queue pays two contended CASes per enqueue (install on
+//! `tail.next`, then swing `tail`). The optimistic queue inverts the list:
+//! `next` pointers run from the tail *backwards* toward the head and are
+//! written before the single `tail` CAS; the forward `prev` pointers that
+//! dequeuers follow are written afterwards with a plain store. A dequeuer
+//! that arrives before the store finds a null `prev` and repairs the chain
+//! by walking the authoritative `next` pointers ([`fix_list`]) — the
+//! "optimism" is that this is rare.
+//!
+//! Two properties make the lazy `prev` chain safe here without the original
+//! paper's tag machinery:
+//!
+//! * nodes are never reused (reclamation is the scheme's job), and
+//! * `next` pointers are immutable after the tail CAS, so the value
+//!   `fix_list` writes into any node's `prev` is unique — concurrent
+//!   repairs race only to store the same pointer.
+//!
+//! `fix_list` may run past a concurrently-advancing head into retired
+//! nodes; the pin makes those dereferences safe (and writing a retired
+//! node's `prev` is harmless), while PEBR's ejection is handled by the
+//! `validate()`-and-restart rule like every other guarded structure.
+//!
+//! [`fix_list`]: OptQueue::fix_list
+
+use std::marker::PhantomData;
+use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed, Release};
+
+use smr_common::{Atomic, Backoff, GuardedScheme, SchemeGuard, Shared};
+
+struct Node<T> {
+    /// Toward the head (older nodes); written once before the tail CAS.
+    next: Atomic<Node<T>>,
+    /// Toward the tail (newer nodes); written lazily after the tail CAS.
+    prev: Atomic<Node<T>>,
+    value: Option<T>,
+}
+
+/// A lock-free FIFO queue with single-CAS enqueue, guard-based flavor.
+pub struct OptQueue<T, S> {
+    head: Atomic<Node<T>>,
+    tail: Atomic<Node<T>>,
+    _marker: PhantomData<S>,
+}
+
+unsafe impl<T: Send + Sync, S> Send for OptQueue<T, S> {}
+unsafe impl<T: Send + Sync, S> Sync for OptQueue<T, S> {}
+
+impl<T, S> OptQueue<T, S>
+where
+    T: Send,
+    S: GuardedScheme,
+{
+    /// Creates an empty queue (one sentinel node).
+    pub fn new() -> Self {
+        let sentinel = Shared::from_owned(Node {
+            next: Atomic::null(),
+            prev: Atomic::null(),
+            value: None,
+        });
+        Self {
+            head: Atomic::from(sentinel),
+            tail: Atomic::from(sentinel),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Creates a per-thread handle.
+    pub fn handle(&self) -> S::Handle {
+        S::handle()
+    }
+
+    /// Enqueues at the tail: one CAS, then an uncontended `prev` store.
+    pub fn enqueue(&self, handle: &mut S::Handle, value: T) {
+        let mut guard = S::pin(handle);
+        let node = Shared::from_owned(Node {
+            next: Atomic::null(),
+            prev: Atomic::null(),
+            value: Some(value),
+        });
+        let mut backoff = Backoff::new();
+        loop {
+            if !guard.validate() {
+                guard.refresh();
+                continue;
+            }
+            let tail = self.tail.load(Acquire);
+            // The backward link is in place *before* the node is published,
+            // so the next chain from any observed tail is always complete.
+            unsafe { node.deref() }.next.store(tail, Relaxed);
+            if self.tail.compare_exchange(tail, node, AcqRel, Acquire).is_ok() {
+                // Optimistic forward link: a plain store. The old tail is
+                // still protected by our pin even if a dequeuer retires it
+                // concurrently, and a dequeuer arriving before this store
+                // repairs the chain itself via fix_list.
+                unsafe { tail.deref() }.prev.store(node, Release);
+                return;
+            }
+            backoff.cas_failed();
+        }
+    }
+
+    /// Dequeues from the head, repairing the `prev` chain when the
+    /// optimistic store has not landed yet.
+    pub fn dequeue(&self, handle: &mut S::Handle) -> Option<T> {
+        let mut guard = S::pin(handle);
+        let mut backoff = Backoff::new();
+        loop {
+            if !guard.validate() {
+                guard.refresh();
+                continue;
+            }
+            let head = self.head.load(Acquire);
+            let tail = self.tail.load(Acquire);
+            let prev = unsafe { head.deref() }.prev.load(Acquire);
+            if head == tail {
+                // Only the sentinel: empty. (A lagging prev is irrelevant.)
+                return None;
+            }
+            if prev.is_null() {
+                // The enqueuer's forward store has not landed; rebuild the
+                // prev chain from the authoritative next pointers.
+                self.fix_list(tail, head);
+                continue;
+            }
+            if self.head.compare_exchange(head, prev, AcqRel, Acquire).is_ok() {
+                // `prev` becomes the new sentinel; take its value.
+                let value = unsafe { (*prev.as_raw()).value.take() };
+                unsafe { guard.defer_destroy(head) };
+                return value;
+            }
+            backoff.cas_failed();
+        }
+    }
+
+    /// Walks the immutable `next` chain from `tail` toward `head`, writing
+    /// each node's forward `prev` link. Stops at `head` (or at a node whose
+    /// successor is unlinked past a concurrently-advanced head).
+    fn fix_list(&self, tail: Shared<Node<T>>, head: Shared<Node<T>>) {
+        let mut cur = tail;
+        while !cur.is_null() && cur != head {
+            let next = unsafe { cur.deref() }.next.load(Acquire);
+            if next.is_null() {
+                break;
+            }
+            unsafe { next.deref() }.prev.store(cur, Release);
+            cur = next;
+        }
+    }
+}
+
+impl<T: Send, S: GuardedScheme> Default for OptQueue<T, S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T, S> Drop for OptQueue<T, S> {
+    fn drop(&mut self) {
+        // Walk the authoritative next chain from the tail, but stop at the
+        // current sentinel: the chain continues past it into *retired* old
+        // sentinels (next links are immutable), and those already belong to
+        // the reclamation scheme.
+        let head = self.head.load_mut();
+        let mut cur = self.tail.load_mut();
+        while !cur.is_null() {
+            let at_sentinel = cur == head;
+            let node = unsafe { Box::from_raw(cur.as_raw()) };
+            cur = node.next.load(Relaxed);
+            if at_sentinel {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn fifo_order() {
+        let q: OptQueue<u64, ebr::Ebr> = OptQueue::new();
+        let mut h = q.handle();
+        for i in 0..100 {
+            q.enqueue(&mut h, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.dequeue(&mut h), Some(i));
+        }
+        assert_eq!(q.dequeue(&mut h), None);
+    }
+
+    #[test]
+    fn interleaved_enqueue_dequeue() {
+        let q: OptQueue<u64, ebr::Ebr> = OptQueue::new();
+        let mut h = q.handle();
+        for round in 0..50u64 {
+            q.enqueue(&mut h, 2 * round);
+            q.enqueue(&mut h, 2 * round + 1);
+            assert_eq!(q.dequeue(&mut h), Some(round));
+        }
+        for round in 50..100u64 {
+            assert_eq!(q.dequeue(&mut h), Some(round));
+        }
+        assert_eq!(q.dequeue(&mut h), None);
+    }
+
+    #[test]
+    fn concurrent_no_loss_no_duplication() {
+        let q: OptQueue<u64, ebr::Ebr> = OptQueue::new();
+        let seen = Mutex::new(HashSet::new());
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let q = &q;
+                s.spawn(move || {
+                    let mut h = q.handle();
+                    for i in 0..1000 {
+                        q.enqueue(&mut h, t * 10_000 + i);
+                    }
+                });
+            }
+            for _ in 0..4 {
+                let q = &q;
+                let seen = &seen;
+                s.spawn(move || {
+                    let mut h = q.handle();
+                    let mut got = 0;
+                    while got < 1000 {
+                        if let Some(v) = q.dequeue(&mut h) {
+                            assert!(seen.lock().unwrap().insert(v), "duplicate {v}");
+                            got += 1;
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(seen.lock().unwrap().len(), 4000);
+    }
+
+    #[test]
+    fn works_under_pebr_too() {
+        let q: OptQueue<u64, pebr::Pebr> = OptQueue::new();
+        let mut h = q.handle();
+        for i in 0..50 {
+            q.enqueue(&mut h, i);
+        }
+        for i in 0..50 {
+            assert_eq!(q.dequeue(&mut h), Some(i));
+        }
+    }
+}

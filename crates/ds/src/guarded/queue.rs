@@ -5,7 +5,7 @@
 use std::marker::PhantomData;
 use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed, Release};
 
-use smr_common::{Atomic, GuardedScheme, SchemeGuard, Shared};
+use smr_common::{Atomic, Backoff, GuardedScheme, SchemeGuard, Shared};
 
 struct Node<T> {
     next: Atomic<Node<T>>,
@@ -52,6 +52,7 @@ where
             next: Atomic::null(),
             value: Some(value),
         });
+        let mut backoff = Backoff::new();
         loop {
             if !guard.validate() {
                 guard.refresh();
@@ -73,12 +74,14 @@ where
                 let _ = self.tail.compare_exchange(tail, node, Release, Relaxed);
                 return;
             }
+            backoff.cas_failed();
         }
     }
 
     /// Dequeues from the head.
     pub fn dequeue(&self, handle: &mut S::Handle) -> Option<T> {
         let mut guard = S::pin(handle);
+        let mut backoff = Backoff::new();
         loop {
             if !guard.validate() {
                 guard.refresh();
@@ -100,6 +103,7 @@ where
                 unsafe { guard.defer_destroy(head) };
                 return value;
             }
+            backoff.cas_failed();
         }
     }
 }

@@ -10,7 +10,7 @@ use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed};
 
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use smr_common::tagged::TAG_DELETED;
-use smr_common::{Atomic, ConcurrentMap, GuardedScheme, SchemeGuard, Shared};
+use smr_common::{Atomic, Backoff, ConcurrentMap, GuardedScheme, SchemeGuard, Shared};
 
 /// Maximum tower height; 2^20 expected elements is ample for the paper's
 /// key ranges.
@@ -192,6 +192,7 @@ where
         let node_shared = Shared::from_raw(node);
         let node_ref = unsafe { &*node };
 
+        let mut backoff = Backoff::new();
         loop {
             let r = self.find(&node_ref.key, &mut guard);
             if r.found.is_some() {
@@ -209,7 +210,10 @@ where
                 Acquire,
             ) {
                 Ok(_) => break,
-                Err(_) => continue,
+                Err(_) => {
+                    backoff.cas_failed();
+                    continue;
+                }
             }
         }
 
@@ -253,6 +257,7 @@ where
         V: Clone,
     {
         let mut guard = S::pin(handle);
+        let mut backoff = Backoff::new();
         loop {
             let r = self.find(key, &mut guard);
             let target = r.found?;
@@ -264,6 +269,7 @@ where
             }
             let prev = node.next[0].fetch_or_tag(TAG_DELETED, AcqRel);
             if prev.tag() & TAG_DELETED != 0 {
+                backoff.cas_failed();
                 continue; // someone else won; re-find (they will retire it)
             }
             let value = node.value.clone();

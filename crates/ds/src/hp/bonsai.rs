@@ -10,7 +10,7 @@
 use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed};
 
 use hp::HazardPointer;
-use smr_common::{fence, Atomic, ConcurrentMap, Shared};
+use smr_common::{fence, Atomic, Backoff, ConcurrentMap, Shared};
 
 use crate::bonsai_core::{Builder, Node, Protector, Restart};
 
@@ -141,6 +141,7 @@ where
     }
 
     pub(crate) fn insert_impl(&self, handle: &mut Handle, key: K, value: V) -> bool {
+        let mut backoff = Backoff::new();
         loop {
             let root0 = self.protect_root(handle);
             let mut b = Builder::new();
@@ -168,7 +169,10 @@ where
                             handle.reset();
                             return true;
                         }
-                        Err(_) => b.abort(),
+                        Err(_) => {
+                            b.abort();
+                            backoff.cas_failed();
+                        }
                     }
                 }
             }
@@ -176,6 +180,7 @@ where
     }
 
     pub(crate) fn remove_impl(&self, handle: &mut Handle, key: &K) -> Option<V> {
+        let mut backoff = Backoff::new();
         loop {
             let root0 = self.protect_root(handle);
             let mut b = Builder::new();
@@ -203,7 +208,10 @@ where
                             handle.reset();
                             return Some(value);
                         }
-                        Err(_) => b.abort(),
+                        Err(_) => {
+                            b.abort();
+                            backoff.cas_failed();
+                        }
                     }
                 }
             }

@@ -23,7 +23,7 @@ use std::marker::PhantomData;
 use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed};
 
 use hp::HazardPointer;
-use smr_common::{fence, Atomic, ConcurrentMap, Shared};
+use smr_common::{fence, Atomic, Backoff, ConcurrentMap, Shared};
 
 use crate::guarded::nm_tree::NmKey;
 use crate::hp_family::HpFamily;
@@ -391,6 +391,7 @@ where
     pub(crate) fn insert_impl(&self, handle: &mut Handle<T>, key: K, value: V) -> bool {
         let key = NmKey::Fin(key.clone());
         let mut stash: Stash<K, V> = None;
+        let mut backoff = Backoff::new();
         loop {
             let sr = self.search(&key, handle);
             let leaf_node = unsafe { sr.l.deref() };
@@ -449,6 +450,7 @@ where
                     unsafe { op.drop_owned() };
                     let internal = unsafe { Box::from_raw(internal_ptr.as_raw()) };
                     stash = Some((internal, new_leaf));
+                    backoff.cas_failed();
                 }
             }
         }
@@ -456,6 +458,7 @@ where
 
     pub(crate) fn remove_impl(&self, handle: &mut Handle<T>, key: &K) -> Option<V> {
         let key = NmKey::Fin(key.clone());
+        let mut backoff = Backoff::new();
         loop {
             let sr = self.search(&key, handle);
             let leaf_node = unsafe { sr.l.deref() };
@@ -502,6 +505,7 @@ where
                 Err(_) => {
                     handle.hp_aux.reset();
                     unsafe { op.drop_owned() };
+                    backoff.cas_failed();
                 }
             }
         }

@@ -4,7 +4,7 @@ use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed};
 
 use hp::HazardPointer;
 use smr_common::tagged::TAG_DELETED;
-use smr_common::{Atomic, ConcurrentMap, Shared};
+use smr_common::{Atomic, Backoff, ConcurrentMap, Shared};
 
 pub(crate) struct Node<K, V> {
     pub(crate) next: Atomic<Node<K, V>>,
@@ -147,6 +147,7 @@ where
             key,
             value,
         });
+        let mut backoff = Backoff::new();
         let out = loop {
             let r = self.find(&node.key, handle);
             if r.found {
@@ -158,6 +159,7 @@ where
                 Ok(_) => break true,
                 Err(_) => {
                     node = unsafe { Box::from_raw(new.as_raw()) };
+                    backoff.cas_failed();
                 }
             }
         };
@@ -170,6 +172,7 @@ where
     where
         V: Clone,
     {
+        let mut backoff = Backoff::new();
         let out = loop {
             let r = self.find(key, handle);
             if !r.found {
@@ -178,6 +181,7 @@ where
             let cur_node = unsafe { r.cur.deref() };
             let next = cur_node.next.fetch_or_tag(TAG_DELETED, AcqRel);
             if next.tag() & TAG_DELETED != 0 {
+                backoff.cas_failed();
                 continue;
             }
             let value = cur_node.value.clone();

@@ -6,7 +6,7 @@
 use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed, Release};
 
 use hp::HazardPointer;
-use smr_common::{fence, Atomic, Shared};
+use smr_common::{fence, Atomic, Backoff, Shared};
 
 struct Node<T> {
     next: Atomic<Node<T>>,
@@ -73,6 +73,7 @@ impl<T: Send> MSQueue<T> {
             next: Atomic::null(),
             value: Some(value),
         });
+        let mut backoff = Backoff::new();
         loop {
             // Protect the tail so its next field stays dereferenceable.
             let tail = handle.hp_head.protect(&self.tail);
@@ -91,11 +92,13 @@ impl<T: Send> MSQueue<T> {
                 handle.hp_head.reset();
                 return;
             }
+            backoff.cas_failed();
         }
     }
 
     /// Dequeues from the head.
     pub fn dequeue(&self, handle: &mut QueueHandle) -> Option<T> {
+        let mut backoff = Backoff::new();
         loop {
             let head = handle.hp_head.protect(&self.head);
             let next = unsafe { head.deref() }.next.load(Acquire);
@@ -121,6 +124,7 @@ impl<T: Send> MSQueue<T> {
                 unsafe { handle.thread.retire(head.as_raw()) };
                 return value;
             }
+            backoff.cas_failed();
         }
     }
 }

@@ -12,7 +12,7 @@ use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed};
 use hp::HazardPointer;
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use smr_common::tagged::TAG_DELETED;
-use smr_common::{Atomic, ConcurrentMap, Shared};
+use smr_common::{Atomic, Backoff, ConcurrentMap, Shared};
 
 use crate::hp_family::HpFamily;
 
@@ -182,6 +182,7 @@ where
         // a concurrent remove may retire it while we build the tower.
         handle.hp_new.protect_raw(node);
 
+        let mut backoff = Backoff::new();
         loop {
             let r = self.find(&node_ref.key, handle);
             if r.found.is_some() {
@@ -199,7 +200,10 @@ where
                 Acquire,
             ) {
                 Ok(_) => break,
-                Err(_) => continue,
+                Err(_) => {
+                    backoff.cas_failed();
+                    continue;
+                }
             }
         }
 
@@ -237,6 +241,7 @@ where
     where
         V: Clone,
     {
+        let mut backoff = Backoff::new();
         loop {
             let r = self.find(key, handle);
             let target = r.found?;
@@ -247,6 +252,7 @@ where
             }
             let prev = node.next[0].fetch_or_tag(TAG_DELETED, AcqRel);
             if prev.tag() & TAG_DELETED != 0 {
+                backoff.cas_failed();
                 continue;
             }
             let value = node.value.clone();

@@ -18,7 +18,7 @@ use std::sync::atomic::Ordering::{Acquire, Relaxed};
 use hp::HazardPointer;
 use hp_plus::{Invalidate, Unlinked};
 use smr_common::tagged::TAG_INVALIDATED;
-use smr_common::{fence, Atomic, ConcurrentMap, Shared};
+use smr_common::{fence, Atomic, Backoff, ConcurrentMap, Shared};
 
 use crate::bonsai_core::{Builder, Node, Protector, Restart};
 
@@ -212,6 +212,7 @@ where
     }
 
     pub(crate) fn insert_impl(&self, handle: &mut Handle, key: K, value: V) -> bool {
+        let mut backoff = Backoff::new();
         loop {
             let root0 = self.protect_root(handle);
             let mut b = Builder::new();
@@ -237,12 +238,14 @@ where
                         return true;
                     }
                     b.abort();
+                    backoff.cas_failed();
                 }
             }
         }
     }
 
     pub(crate) fn remove_impl(&self, handle: &mut Handle, key: &K) -> Option<V> {
+        let mut backoff = Backoff::new();
         loop {
             let root0 = self.protect_root(handle);
             let mut b = Builder::new();
@@ -268,6 +271,7 @@ where
                         return Some(value);
                     }
                     b.abort();
+                    backoff.cas_failed();
                 }
             }
         }

@@ -15,7 +15,7 @@ use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed};
 
 use hp_plus::{try_protect, HazardPointer, Unlinked};
 use smr_common::tagged::TAG_DELETED;
-use smr_common::{Atomic, ConcurrentMap, Shared};
+use smr_common::{Atomic, Backoff, ConcurrentMap, Shared};
 
 use super::{is_marked, src_is_invalid, Handle, Node};
 
@@ -217,6 +217,7 @@ where
             key,
             value,
         });
+        let mut backoff = Backoff::new();
         let out = loop {
             let r = self.search(&node.key, handle);
             if r.found {
@@ -228,6 +229,7 @@ where
                 Ok(_) => break true,
                 Err(_) => {
                     node = unsafe { Box::from_raw(new.as_raw()) };
+                    backoff.cas_failed();
                 }
             }
         };
@@ -239,6 +241,7 @@ where
     where
         V: Clone,
     {
+        let mut backoff = Backoff::new();
         let out = loop {
             let r = self.search(key, handle);
             if !r.found {
@@ -247,6 +250,7 @@ where
             let cur_node = unsafe { r.cur.deref() };
             let next = cur_node.next.fetch_or_tag(TAG_DELETED, AcqRel);
             if is_marked(next.tag()) {
+                backoff.cas_failed();
                 continue; // another deleter won; re-search
             }
             let value = cur_node.value.clone();

@@ -11,7 +11,7 @@ use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed};
 
 use hp_plus::{try_protect, HazardPointer, Unlinked};
 use smr_common::tagged::TAG_DELETED;
-use smr_common::{Atomic, ConcurrentMap, Shared};
+use smr_common::{Atomic, Backoff, ConcurrentMap, Shared};
 
 use super::{is_marked, src_is_invalid, Handle, Node};
 
@@ -130,6 +130,7 @@ where
             key,
             value,
         });
+        let mut backoff = Backoff::new();
         let out = loop {
             let r = self.find(&node.key, handle);
             if r.found {
@@ -141,6 +142,7 @@ where
                 Ok(_) => break true,
                 Err(_) => {
                     node = unsafe { Box::from_raw(new.as_raw()) };
+                    backoff.cas_failed();
                 }
             }
         };
@@ -152,6 +154,7 @@ where
     where
         V: Clone,
     {
+        let mut backoff = Backoff::new();
         let out = loop {
             let r = self.find(key, handle);
             if !r.found {
@@ -160,6 +163,7 @@ where
             let cur_node = unsafe { r.cur.deref() };
             let next = cur_node.next.fetch_or_tag(TAG_DELETED, AcqRel);
             if is_marked(next.tag()) {
+                backoff.cas_failed();
                 continue;
             }
             let value = cur_node.value.clone();

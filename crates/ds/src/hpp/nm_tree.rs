@@ -9,7 +9,7 @@
 use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed};
 
 use hp_plus::{try_protect, HazardPointer, Invalidate, Unlinked};
-use smr_common::{Atomic, ConcurrentMap, Shared};
+use smr_common::{Atomic, Backoff, ConcurrentMap, Shared};
 
 use crate::guarded::nm_tree::{NmKey, Node as GNode};
 
@@ -273,6 +273,7 @@ where
 
     pub(crate) fn insert_impl(&self, handle: &mut Handle, key: K, value: V) -> bool {
         let mut stash: Stash<K, V> = None;
+        let mut backoff = Backoff::new();
         loop {
             let sr = self.seek(&key, handle);
             let leaf = sr.leaf();
@@ -325,12 +326,14 @@ where
                 Err(_) => {
                     let internal = unsafe { Box::from_raw(internal_ptr.as_raw()) };
                     stash = Some((internal, new_leaf));
+                    backoff.cas_failed();
                 }
             }
         }
     }
 
     pub(crate) fn remove_impl(&self, handle: &mut Handle, key: &K) -> Option<V> {
+        let mut backoff = Backoff::new();
         // Phase 1: injection.
         let (target_leaf, value) = loop {
             let sr = self.seek(key, handle);
@@ -354,7 +357,10 @@ where
                 Acquire,
             ) {
                 Ok(_) => break (leaf, leaf_node.value.clone()),
-                Err(_) => continue,
+                Err(_) => {
+                    backoff.cas_failed();
+                    continue;
+                }
             }
         };
 

@@ -23,19 +23,26 @@
 //! | `EFRBTree` (Ellen et al.) | ✓ | ✓ | ✓ (hybrid) | — |
 //! | `BonsaiTree` (COW path-copy) | ✓ | ✓ | ✓ | — |
 //! | `TreiberStack` | — | ✓ | ✓ | — |
+//! | `ElimStack` (Treiber + elimination) | — | ✓ | ✓ | — |
 //! | `MSQueue` | ✓ | ✓ | — | — |
+//! | `OptQueue` (Ladan-Mozes–Shavit) | ✓ | — | — | — |
 //!
 //! The missing cells are the paper's inapplicability results: HP cannot
 //! protect optimistic traversal (HHSList, NMTree — §2.3), and the paper
 //! omits the RC trees as well.
+//!
+//! The stacks and queues are *bags*, not maps; [`bag::BagMap`] adapts them
+//! to the [`ConcurrentMap`] interface so the bench runner can drive them.
 
 #![warn(missing_docs)]
 // Closures passed to `try_unlink` sit inside an outer `unsafe` call yet keep
 // their own `unsafe` blocks for readability; silence the resulting lint.
 #![allow(unused_unsafe)]
 
+pub mod bag;
 pub(crate) mod bonsai_core;
 pub mod cdrc;
+pub(crate) mod elim;
 pub mod guarded;
 pub mod hash_map;
 pub mod hp_family;

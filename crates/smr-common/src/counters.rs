@@ -1,4 +1,4 @@
-//! Global garbage accounting.
+//! Global garbage and contention accounting.
 //!
 //! Every reclamation scheme in the workspace reports its retired-but-not-yet-
 //! reclaimed blocks here so the benchmark harness can regenerate the paper's
@@ -8,6 +8,12 @@
 //!   the scheme (retire for HP/EBR/PEBR/NR, **unlink** for HP++ — HP++ defers
 //!   retirement, and the paper counts that deferred garbage too), and
 //! * stops counting when the scheme frees it (never, for NR).
+//!
+//! On top of garbage, the stripes carry **contention accounting** for the
+//! fig9 sweeps: data structures report every failed `compare_exchange` on a
+//! retry path ([`incr_cas_failure`]), and [`crate::backoff`] reports each
+//! spin / yield / park step it takes. The bench harness divides CAS
+//! failures by completed operations to get a retry rate per scenario.
 //!
 //! Counters are striped across cache lines to keep the accounting from
 //! becoming the bottleneck it is trying to measure.
@@ -20,12 +26,20 @@ const STRIPES: usize = 64;
 struct Stripe {
     retired: AtomicU64,
     freed: AtomicU64,
+    cas_failed: AtomicU64,
+    backoff_spin: AtomicU64,
+    backoff_yield: AtomicU64,
+    backoff_park: AtomicU64,
 }
 
 #[allow(clippy::declare_interior_mutable_const)]
 const STRIPE_INIT: Stripe = Stripe {
     retired: AtomicU64::new(0),
     freed: AtomicU64::new(0),
+    cas_failed: AtomicU64::new(0),
+    backoff_spin: AtomicU64::new(0),
+    backoff_yield: AtomicU64::new(0),
+    backoff_park: AtomicU64::new(0),
 };
 
 static STRIPES_ARR: [Stripe; STRIPES] = [STRIPE_INIT; STRIPES];
@@ -83,6 +97,50 @@ pub fn garbage_now() -> u64 {
     total_retired().saturating_sub(total_freed())
 }
 
+/// Records `n` failed `compare_exchange` attempts on a data-structure retry
+/// path (the coherence-storm events the backoff machinery dampens).
+#[inline]
+pub fn incr_cas_failure(n: u64) {
+    stripe().cas_failed.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Total failed CAS attempts reported by the data structures.
+pub fn total_cas_failures() -> u64 {
+    STRIPES_ARR
+        .iter()
+        .map(|s| s.cas_failed.load(Ordering::Relaxed))
+        .sum()
+}
+
+/// Records one backoff step in the spin phase.
+#[inline]
+pub fn incr_backoff_spin() {
+    stripe().backoff_spin.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one backoff step in the yield phase.
+#[inline]
+pub fn incr_backoff_yield() {
+    stripe().backoff_yield.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one backoff step in the park phase.
+#[inline]
+pub fn incr_backoff_park() {
+    stripe().backoff_park.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Total backoff steps taken, split `(spin, yield, park)`.
+pub fn total_backoff() -> (u64, u64, u64) {
+    STRIPES_ARR.iter().fold((0, 0, 0), |(s, y, p), st| {
+        (
+            s + st.backoff_spin.load(Ordering::Relaxed),
+            y + st.backoff_yield.load(Ordering::Relaxed),
+            p + st.backoff_park.load(Ordering::Relaxed),
+        )
+    })
+}
+
 /// Serializes tests (crate-wide) that assert exact counter deltas: the
 /// counters are process-global, so concurrently running tests that retire
 /// or free blocks would otherwise perturb each other's readings.
@@ -113,6 +171,38 @@ mod tests {
             total_retired() - total_freed(),
             retired_before - freed_before
         );
+    }
+
+    #[test]
+    fn cas_failure_and_backoff_deltas_are_exact() {
+        let _serial = test_lock();
+        let cas_before = total_cas_failures();
+        let (s0, y0, p0) = total_backoff();
+        incr_cas_failure(3);
+        incr_cas_failure(1);
+        incr_backoff_spin();
+        incr_backoff_spin();
+        incr_backoff_yield();
+        incr_backoff_park();
+        assert_eq!(total_cas_failures() - cas_before, 4);
+        let (s1, y1, p1) = total_backoff();
+        assert_eq!((s1 - s0, y1 - y0, p1 - p0), (2, 1, 1));
+    }
+
+    #[test]
+    fn contention_counters_sum_across_threads() {
+        let _serial = test_lock();
+        let cas_before = total_cas_failures();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..500 {
+                        incr_cas_failure(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(total_cas_failures() - cas_before, 4000);
     }
 
     #[test]

@@ -10,8 +10,13 @@
 //! * [`fence`] — the asymmetric light/heavy fence pair from HP++ §3.4,
 //!   implemented with Linux `membarrier(2)` when available and falling back to
 //!   plain `SeqCst` fences elsewhere.
-//! * [`counters`] — global garbage accounting used by the benchmark harness to
-//!   reproduce the paper's "unreclaimed blocks" figures.
+//! * [`counters`] — global garbage + contention accounting used by the
+//!   benchmark harness to reproduce the paper's "unreclaimed blocks"
+//!   figures and to report CAS retry/backoff rates.
+//! * [`backoff`] — the tunable spin/yield/park exponential
+//!   [`Backoff`](backoff::Backoff) threaded through every CAS retry loop
+//!   in `crates/ds` (knobs: `SMR_BACKOFF_SPIN_LIMIT`, `SMR_BACKOFF_MAX_EXP`,
+//!   `SMR_NO_BACKOFF`).
 //! * [`map`] — the [`ConcurrentMap`] trait every
 //!   benchmarked structure implements, plus the [`GuardedScheme`]
 //!   abstraction shared by the guard-based schemes (NR, EBR, PEBR).
@@ -30,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod atomic;
+pub mod backoff;
 pub mod counters;
 pub mod fault;
 pub mod fence;
@@ -42,6 +48,11 @@ pub mod util;
 pub mod watchdog;
 
 pub use atomic::{Atomic, Shared};
+pub use backoff::Backoff;
 pub use map::{ConcurrentMap, GuardedScheme, SchemeGuard};
 pub use retired::Retired;
 pub use util::CachePadded;
+
+/// Named fault-injection points compiled into this crate (each a
+/// [`fault_point!`] site; no-ops without the `fault-injection` feature).
+pub const FAULT_POINTS: &[&str] = backoff::FAULT_POINTS;

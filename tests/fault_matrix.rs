@@ -540,6 +540,90 @@ fn ebr_retire_storm_under_stalled_collector_grows_then_drains() {
 }
 
 #[test]
+fn backoff_parked_thread_keeps_garbage_bounded_and_drains() {
+    // Contention-machinery adversary: a thread escalates its CAS backoff all
+    // the way to the park phase *while still holding its hazard pointer*
+    // (exactly the state of a retry loop between failed attempts), and the
+    // park stalls forever — an OS descheduling it indefinitely. Contract:
+    // the sleeper pins at most its one announced node; every other thread's
+    // retire bound holds, and releasing the stall drains to the exact node.
+    static DROPS: AtomicUsize = AtomicUsize::new(0);
+    struct Canary(#[allow(dead_code)] u64);
+    impl Drop for Canary {
+        fn drop(&mut self) {
+            DROPS.fetch_add(1, Relaxed);
+        }
+    }
+
+    let plan = fault::plan()
+        .at("backoff::park", 1, FaultAction::Stall)
+        .install();
+    let d: &'static hp::Domain = Box::leak(Box::new(hp::Domain::new()));
+    let slot: &'static smr_common::Atomic<Canary> =
+        Box::leak(Box::new(smr_common::Atomic::new(Canary(7))));
+
+    let victim = std::thread::spawn(move || {
+        let mut t = d.register();
+        let hp = t.hazard_pointer();
+        let p = slot.load(std::sync::atomic::Ordering::Acquire);
+        let _ = hp.try_protect(p, slot);
+        // Mid-retry-loop: escalate a tiny-config backoff into the park
+        // phase while the protection is still published. The first park
+        // stalls on the fault point; later snoozes (after release) are
+        // 1 µs sleeps.
+        let mut b = smr_common::backoff::Backoff::with_config(
+            smr_common::backoff::BackoffConfig {
+                spin_limit: 0,
+                max_exp: 0,
+                disabled: false,
+            },
+            0xBACC0FF,
+        );
+        for _ in 0..16 {
+            b.snooze();
+        }
+        hp.reset();
+        t.recycle(hp);
+    });
+    wait_for("victim stalled in backoff park", || {
+        fault::stalled_count("backoff::park") == 1
+    });
+
+    // Writer churn around the sleeper: its hazard covers the initial node
+    // only, so every other thread keeps its Table 1 retire bound.
+    let mut writer = d.register();
+    let n = 3 * writer.reclaim_threshold();
+    for _ in 0..n {
+        let old = slot.swap(
+            smr_common::Shared::from_owned(Canary(7)),
+            std::sync::atomic::Ordering::AcqRel,
+        );
+        unsafe { writer.retire(old.as_raw()) };
+        assert!(
+            writer.retired_count() <= writer.reclaim_threshold(),
+            "a parked thread must not break the retire bound: {} > {}",
+            writer.retired_count(),
+            writer.reclaim_threshold()
+        );
+    }
+    assert!(
+        DROPS.load(Relaxed) >= n - writer.reclaim_threshold() - 1,
+        "writer reclaimed around the parked thread: {} freed of {n}",
+        DROPS.load(Relaxed)
+    );
+
+    fault::release("backoff::park");
+    victim.join().unwrap();
+    drop(plan);
+
+    // Exact balance once the sleeper wakes and drops its hazard: all n
+    // retired nodes freed, only the slot's final occupant left.
+    writer.reclaim();
+    assert_eq!(DROPS.load(Relaxed), n, "every retired node freed");
+    unsafe { slot.load(std::sync::atomic::Ordering::Acquire).drop_owned() };
+}
+
+#[test]
 fn all_fault_points_are_reachable() {
     // Coverage: every point a crate declares in its FAULT_POINTS const is
     // actually crossed by a small targeted scenario — a renamed or orphaned
@@ -611,13 +695,28 @@ fn all_fault_points_are_reachable() {
         assert!(m.get(&mut h, &1).is_some());
         m.remove(&mut h, &1);
     }
+    // smr-common: escalate a tiny-config backoff into its park phase.
+    {
+        let mut b = smr_common::backoff::Backoff::with_config(
+            smr_common::backoff::BackoffConfig {
+                spin_limit: 0,
+                max_exp: 0,
+                disabled: false,
+            },
+            1,
+        );
+        for _ in 0..8 {
+            b.snooze();
+        }
+    }
 
     let all_points = hp::FAULT_POINTS
         .iter()
         .chain(ebr::FAULT_POINTS)
         .chain(hp_plus::FAULT_POINTS)
         .chain(pebr::FAULT_POINTS)
-        .chain(ds::FAULT_POINTS);
+        .chain(ds::FAULT_POINTS)
+        .chain(smr_common::FAULT_POINTS);
     let mut missed = Vec::new();
     for point in all_points {
         if fault::hits(point) == 0 {
