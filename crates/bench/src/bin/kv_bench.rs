@@ -1,0 +1,107 @@
+//! End-to-end benchmark for the sharded KV service.
+//!
+//! ```text
+//! kv_bench [--quick]
+//! ```
+//!
+//! Runs two sweeps over the read-mostly Zipfian scenario (90/5/5,
+//! θ = 0.99) and prints one CSV to stdout:
+//!
+//! * `scaling` — HP++ store at 1, 2, and 4 shards: the throughput-scaling
+//!   headline (per-shard reclamation domains mean shards add capacity
+//!   without sharing a collector bottleneck);
+//! * `schemes` — HP++ vs per-shard EBR vs NR at 4 shards: what the
+//!   reclamation scheme costs end-to-end, through rings, batching, and the
+//!   map itself.
+//!
+//! Columns (see EXPERIMENTS.md):
+//! `section,scheme,shards,clients,pipeline,batch,ring,keys,theta,read_pct,
+//! warmup_ms,duration_ms,total_mops,min_shard_mops,max_shard_mops,p50_ns,
+//! p99_ns,p999_ns,peak_shard_garbage`
+//!
+//! The scaling verdict (4-shard ÷ 1-shard throughput) goes to stderr with
+//! the host's core count: on a 1-core host every shard multiplexes the
+//! same CPU, so the ratio measures batching overhead, not scaling — the
+//! ≥ 4-core claim in EXPERIMENTS.md must come from a ≥ 4-core host.
+//! `--quick` shrinks windows and key range for CI smoke runs.
+
+use bench::kv_run::{run_kv, KvResult, KvRun};
+use kv_service::{available_cores, EbrStore, HppStore, NrStore, ShardStore};
+
+const HEADER: &str = "section,scheme,shards,clients,pipeline,batch,ring,keys,theta,read_pct,\
+warmup_ms,duration_ms,total_mops,min_shard_mops,max_shard_mops,p50_ns,p99_ns,p999_ns,\
+peak_shard_garbage";
+
+fn scenario(shards: usize, quick: bool) -> KvRun {
+    let rc = KvRun::read_mostly(shards);
+    if quick {
+        rc.quick()
+    } else {
+        rc
+    }
+}
+
+fn row<S: ShardStore>(section: &str, rc: &KvRun) -> KvResult {
+    eprintln!("kv_bench: {section} {} x{} shards…", S::SCHEME, rc.shards);
+    let r = run_kv::<S>(rc);
+    println!(
+        "{section},{},{},{},{},{},{},{},{},{},{},{},{:.4},{:.4},{:.4},{},{},{},{}",
+        S::SCHEME,
+        rc.shards,
+        rc.clients,
+        rc.pipeline,
+        rc.batch,
+        rc.ring_depth,
+        rc.keys,
+        rc.theta,
+        rc.read_pct,
+        rc.warmup.as_millis(),
+        rc.duration.as_millis(),
+        r.total_mops,
+        r.min_shard_mops,
+        r.max_shard_mops,
+        r.p50_ns,
+        r.p99_ns,
+        r.p999_ns,
+        r.peak_shard_garbage,
+    );
+    r
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("{HEADER}");
+
+    let mut one_shard = None;
+    let mut four_shard = None;
+    for shards in [1usize, 2, 4] {
+        let r = row::<HppStore>("scaling", &scenario(shards, quick));
+        match shards {
+            1 => one_shard = Some(r),
+            4 => four_shard = Some(r),
+            _ => {}
+        }
+    }
+
+    for_scheme_sweep(quick);
+
+    let cores = available_cores();
+    if let (Some(s1), Some(s4)) = (one_shard, four_shard) {
+        let ratio = s4.total_mops / s1.total_mops.max(1e-9);
+        eprintln!(
+            "kv_bench: 1→4 shard scaling {ratio:.2}x on a {cores}-core host{}",
+            if cores >= 4 {
+                ""
+            } else {
+                " (shards time-share the same cores here; measure scaling on >=4 cores)"
+            }
+        );
+    }
+}
+
+fn for_scheme_sweep(quick: bool) {
+    let rc = scenario(4, quick);
+    row::<HppStore>("schemes", &rc);
+    row::<EbrStore>("schemes", &rc);
+    row::<NrStore>("schemes", &rc);
+}

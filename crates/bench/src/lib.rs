@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod kv_run;
 pub mod metrics;
 pub mod orchestrate;
 pub mod runner;

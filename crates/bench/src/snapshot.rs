@@ -49,17 +49,65 @@ pub fn gates(metric: &str) -> bool {
     !metric.starts_with("garbage.")
 }
 
-/// One measured snapshot: an ordered list of (metric, value) pairs.
+/// One measured snapshot: an ordered list of (metric, value) pairs plus a
+/// metadata block describing the host that produced it.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Snapshot {
     /// Metric name → value, in insertion order.
     pub metrics: Vec<(String, f64)>,
+    /// Metadata (host shape, active env overrides) — string → string, in
+    /// insertion order. Never gated on; used to decide whether two
+    /// snapshots are comparable at all.
+    pub meta: Vec<(String, String)>,
 }
+
+/// Env-var prefixes whose values shape benchmark results and therefore
+/// belong in the snapshot metadata.
+const META_ENV_PREFIXES: &[&str] = &["SMR_", "KV_", "HP_", "HPP_", "EBR_"];
 
 impl Snapshot {
     /// Creates an empty snapshot.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Records a metadata entry (replacing an earlier value of the same
+    /// name). Values are sanitized to keep the hand-rolled JSON parseable.
+    pub fn record_meta(&mut self, name: &str, value: &str) {
+        let clean: String = value
+            .chars()
+            .map(|c| if matches!(c, '"' | '{' | '}' | ',' | '\n' | '\r' | ':') { '_' } else { c })
+            .collect();
+        if let Some(slot) = self.meta.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = clean;
+        } else {
+            self.meta.push((name.to_string(), clean));
+        }
+    }
+
+    /// Looks up a metadata entry.
+    pub fn get_meta(&self, name: &str) -> Option<&str> {
+        self.meta.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Records the current host shape and every set benchmark-relevant env
+    /// override (`SMR_*`, `KV_*`, `HP_*`, `HPP_*`, `EBR_*`), so a later
+    /// comparison can tell whether the numbers were produced under the
+    /// same conditions.
+    pub fn record_host_meta(&mut self) {
+        self.record_meta("host.cores", &current_cores().to_string());
+        let mut overrides: Vec<(String, String)> = std::env::vars()
+            .filter(|(k, _)| META_ENV_PREFIXES.iter().any(|p| k.starts_with(p)))
+            .collect();
+        overrides.sort();
+        for (k, v) in overrides {
+            self.record_meta(&format!("env.{k}"), &v);
+        }
+    }
+
+    /// Core count recorded in this snapshot's metadata, if any.
+    pub fn recorded_cores(&self) -> Option<u64> {
+        self.get_meta("host.cores")?.parse().ok()
     }
 
     /// Records a metric (replacing an earlier value of the same name).
@@ -78,7 +126,16 @@ impl Snapshot {
 
     /// Serializes to the `BENCH_pr*.json` format.
     pub fn to_json(&self) -> String {
-        let mut s = String::from("{\n  \"schema\": 1,\n  \"metrics\": {\n");
+        let mut s = String::from("{\n  \"schema\": 1,\n");
+        if !self.meta.is_empty() {
+            s.push_str("  \"meta\": {\n");
+            for (i, (name, value)) in self.meta.iter().enumerate() {
+                let comma = if i + 1 < self.meta.len() { "," } else { "" };
+                let _ = writeln!(s, "    \"{name}\": \"{value}\"{comma}");
+            }
+            s.push_str("  },\n");
+        }
+        s.push_str("  \"metrics\": {\n");
         for (i, (name, value)) in self.metrics.iter().enumerate() {
             let comma = if i + 1 < self.metrics.len() { "," } else { "" };
             // {:.6} keeps the file diff-stable across runs of equal value.
@@ -89,9 +146,35 @@ impl Snapshot {
     }
 
     /// Parses the `BENCH_pr*.json` format. Only the flat shape emitted by
-    /// [`Snapshot::to_json`] is supported: one `"metrics"` object of
-    /// string → number pairs; nested objects or arrays are rejected.
+    /// [`Snapshot::to_json`] is supported: an optional `"meta"` object of
+    /// string → string pairs and one `"metrics"` object of string → number
+    /// pairs; nested objects or arrays are rejected. Snapshots written
+    /// before the meta block existed parse with an empty `meta`.
     pub fn from_json(text: &str) -> Result<Self, String> {
+        let mut snap = Snapshot::new();
+        // "\"meta\"" (closing quote included) cannot match "\"metrics\"".
+        if let Some(meta_at) = text.find("\"meta\"") {
+            let rest = &text[meta_at..];
+            let open = rest.find('{').ok_or_else(|| "missing meta object".to_string())?;
+            let body = &rest[open + 1..];
+            let close = body
+                .find('}')
+                .ok_or_else(|| "unterminated meta object".to_string())?;
+            for entry in body[..close].split(',') {
+                let entry = entry.trim();
+                if entry.is_empty() {
+                    continue;
+                }
+                let (key, value) = entry
+                    .split_once(':')
+                    .ok_or_else(|| format!("malformed meta entry: {entry}"))?;
+                let key = key.trim().trim_matches('"');
+                if key.is_empty() {
+                    return Err(format!("empty meta name in: {entry}"));
+                }
+                snap.record_meta(key, value.trim().trim_matches('"'));
+            }
+        }
         let metrics_at = text
             .find("\"metrics\"")
             .ok_or_else(|| "missing \"metrics\" key".to_string())?;
@@ -103,7 +186,6 @@ impl Snapshot {
         let close = body
             .find('}')
             .ok_or_else(|| "unterminated metrics object".to_string())?;
-        let mut snap = Snapshot::new();
         for entry in body[..close].split(',') {
             let entry = entry.trim();
             if entry.is_empty() {
@@ -241,6 +323,24 @@ pub fn find_baseline(dir: &Path) -> Option<(u32, PathBuf)> {
     best
 }
 
+/// Cores available to this process right now — the "current" side of a
+/// host-shape comparability check.
+pub fn current_cores() -> u64 {
+    std::thread::available_parallelism().map(|n| n.get() as u64).unwrap_or(1)
+}
+
+/// Why two snapshots are not directly comparable, if they are not.
+/// Scaling-sensitive metrics (anything touching thread counts or shard
+/// counts) move with core count, so a baseline from a different host
+/// shape should be reported, not gated on.
+pub fn host_shape_mismatch(baseline: &Snapshot, current: &Snapshot) -> Option<String> {
+    let base = baseline.recorded_cores()?;
+    // Prefer the current snapshot's recorded shape; fall back to the live
+    // host for snapshots measured in this process.
+    let cur = current.recorded_cores().unwrap_or_else(current_cores);
+    (base != cur).then(|| format!("baseline measured on {base} cores, current on {cur}"))
+}
+
 /// The gate tolerance: `SMR_BENCH_TOLERANCE` (a fraction, e.g. `0.15`) or
 /// the default 10%.
 pub fn tolerance_from_env() -> f64 {
@@ -364,6 +464,55 @@ mod tests {
         let loaded = Snapshot::from_json(&std::fs::read_to_string(path).unwrap()).unwrap();
         assert_eq!(loaded.get("mops.x"), Some(11.0));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn meta_roundtrips_and_sanitizes() {
+        let mut s = snap(&[("mops.x", 1.0)]);
+        s.record_meta("host.cores", "4");
+        s.record_meta("env.KV_SHARDS", "2");
+        s.record_meta("env.WEIRD", "a\"b,c{d}e\nf");
+        let text = s.to_json();
+        assert!(text.find("\"meta\"").unwrap() < text.find("\"metrics\"").unwrap());
+        let parsed = Snapshot::from_json(&text).expect("meta roundtrip");
+        assert_eq!(parsed.recorded_cores(), Some(4));
+        assert_eq!(parsed.get_meta("env.KV_SHARDS"), Some("2"));
+        assert_eq!(parsed.get_meta("env.WEIRD"), Some("a_b_c_d_e_f"));
+        assert_eq!(parsed.get("mops.x"), Some(1.0));
+    }
+
+    #[test]
+    fn meta_less_snapshots_still_parse() {
+        // Files committed before the meta block existed (PR ≤ 6).
+        let parsed = Snapshot::from_json("{\n  \"schema\": 1,\n  \"metrics\": {\n    \"ns.a\": 2.5\n  }\n}\n")
+            .expect("old format");
+        assert!(parsed.meta.is_empty());
+        assert_eq!(parsed.recorded_cores(), None);
+        assert_eq!(parsed.get("ns.a"), Some(2.5));
+    }
+
+    #[test]
+    fn host_shape_mismatch_reports_differing_cores() {
+        let mut base = snap(&[("mops.x", 1.0)]);
+        let cur = snap(&[("mops.x", 1.0)]);
+        // Baseline without meta: nothing to compare against — no mismatch.
+        assert_eq!(host_shape_mismatch(&base, &cur), None);
+        base.record_meta("host.cores", &(current_cores() + 1).to_string());
+        let msg = host_shape_mismatch(&base, &cur).expect("shapes differ");
+        assert!(msg.contains("cores"));
+        // Matching shapes: comparable.
+        base.record_meta("host.cores", &current_cores().to_string());
+        assert_eq!(host_shape_mismatch(&base, &cur), None);
+    }
+
+    #[test]
+    fn record_host_meta_captures_cores_and_env() {
+        std::env::set_var("KV_SNAPTEST_SHARDS", "3");
+        let mut s = Snapshot::new();
+        s.record_host_meta();
+        std::env::remove_var("KV_SNAPTEST_SHARDS");
+        assert_eq!(s.recorded_cores(), Some(current_cores()));
+        assert_eq!(s.get_meta("env.KV_SNAPTEST_SHARDS"), Some("3"));
     }
 
     #[test]

@@ -27,9 +27,16 @@ where
 
     /// Creates a map with `n` buckets.
     pub fn with_buckets(n: usize) -> Self {
+        Self::with_buckets_by(n, L::new)
+    }
+
+    /// Creates a map with `n` buckets built by `make`. Per-instance state
+    /// — most importantly a dedicated reclamation domain shared by every
+    /// bucket of one map — threads through the closure.
+    pub fn with_buckets_by(n: usize, mut make: impl FnMut() -> L) -> Self {
         assert!(n > 0, "bucket count must be positive");
         Self {
-            buckets: (0..n).map(|_| L::new()).collect(),
+            buckets: (0..n).map(|_| make()).collect(),
             _marker: std::marker::PhantomData,
         }
     }

@@ -22,6 +22,9 @@ use super::{is_marked, src_is_invalid, Handle, Node};
 /// Harris's list + wait-free get, protected by HP++.
 pub struct HHSList<K, V> {
     head: Atomic<Node<K, V>>,
+    /// Domain that nodes of this list retire into; handles returned by
+    /// [`ConcurrentMap::handle`] register here.
+    domain: &'static hp_plus::Domain,
 }
 
 unsafe impl<K: Send + Sync, V: Send + Sync> Send for HHSList<K, V> {}
@@ -39,10 +42,16 @@ impl<K, V> HHSList<K, V>
 where
     K: Ord,
 {
-    /// Creates an empty list.
+    /// Creates an empty list in the default HP++ domain.
     pub fn new() -> Self {
+        Self::new_in(hp_plus::default_domain())
+    }
+
+    /// Creates an empty list whose handles register with `domain`.
+    pub fn new_in(domain: &'static hp_plus::Domain) -> Self {
         Self {
             head: Atomic::null(),
+            domain,
         }
     }
 
@@ -301,7 +310,7 @@ where
     }
 
     fn handle(&self) -> Handle {
-        Handle::new()
+        Handle::new_in(self.domain)
     }
 
     fn get(&self, handle: &mut Handle, key: &K) -> Option<V> {

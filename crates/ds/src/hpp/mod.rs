@@ -27,6 +27,16 @@ use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
 /// Chaining hash map over HP++ HHSList buckets (paper §5).
 pub type HashMap<K, V> = crate::hash_map::HashMap<K, V, HHSList<K, V>>;
 
+/// Builds a [`HashMap`] whose buckets all retire into `domain`, so the
+/// map's garbage is fully charged to that domain (one domain per KV shard).
+pub fn hash_map_in<K, V>(domain: &'static hp_plus::Domain, buckets: usize) -> HashMap<K, V>
+where
+    K: Ord + std::hash::Hash + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    crate::hash_map::HashMap::with_buckets_by(buckets, || HHSList::new_in(domain))
+}
+
 /// Skiplist under HP++ in *hybrid* mode (§4.2): the multi-level find is
 /// inherently careful, so it reuses the HP-style validated protection and
 /// the plain retirement path of `hp_plus::Thread`. See DESIGN.md for why
@@ -79,7 +89,14 @@ pub struct Handle {
 impl Handle {
     /// Registers with the default HP++ domain.
     pub fn new() -> Self {
-        let mut thread = hp_plus::default_domain().register();
+        Self::new_in(hp_plus::default_domain())
+    }
+
+    /// Registers with an explicit HP++ domain. Structures that carry their
+    /// own reclamation domain (one per KV shard, say) hand it in here so
+    /// garbage pressure and collector stalls stay inside that domain.
+    pub fn new_in(domain: &'static hp_plus::Domain) -> Self {
+        let mut thread = domain.register();
         let hp_prev = thread.hazard_pointer();
         let hp_cur = thread.hazard_pointer();
         let hp_anchor = thread.hazard_pointer();
@@ -91,6 +108,18 @@ impl Handle {
             hp_anchor,
             hp_anchor_next,
         }
+    }
+
+    /// Unreclaimed blocks charged to this handle's thread: retired bags
+    /// plus unlinked batches still awaiting deferred invalidation.
+    pub fn garbage_count(&self) -> usize {
+        self.thread.garbage_count()
+    }
+
+    /// Forces an invalidation + reclamation pass now (normally triggered
+    /// every `RECLAIM_PERIOD` unlinks).
+    pub fn reclaim(&mut self) {
+        self.thread.reclaim()
     }
 
     pub(crate) fn reset(&mut self) {

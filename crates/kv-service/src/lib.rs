@@ -1,0 +1,168 @@
+//! Sharded key-value service over SMR-protected maps.
+//!
+//! The system-level payoff of the paper's robustness story: N shards, each
+//! wrapping an SMR-protected hash map with its **own reclamation domain**
+//! (a private [`hp_plus::Domain`] or [`ebr::Collector`] per shard), so
+//! garbage pressure and collector stalls never cross shard boundaries. One
+//! wedged shard degrades that shard alone — the scheme-level guarantee the
+//! fault matrix proves (Table 1) lifted to service scope.
+//!
+//! Architecture:
+//!
+//! * **Routing** — keys hash to shards via a SplitMix64 finalizer and a
+//!   widening multiply ([`shard_of_key`]); the shard's own map then hashes
+//!   into its buckets independently.
+//! * **Command rings** — each shard owns one bounded MPSC ring
+//!   ([`ring::Ring`], Vyukov-style sequence slots). Producers back off via
+//!   [`smr_common::Backoff`] (spin → yield → park) when the ring is full;
+//!   there is no unbounded queue anywhere, so the service runs on a fixed
+//!   thread pool (one worker per shard) instead of thread-per-client.
+//! * **Batched workers** — each shard's worker drains up to
+//!   [`KvConfig::batch`] commands per wakeup. Map-level guard state is
+//!   acquired once per worker (the handle lives for the shard's lifetime)
+//!   and per-batch bookkeeping — stats, garbage sampling, the doorbell
+//!   round-trip — amortizes across the batch.
+//! * **Stores** — [`store::ShardStore`] plugs schemes through the existing
+//!   `GuardedScheme`/`ConcurrentMap` plumbing: HP++ by default
+//!   ([`store::HppStore`]), per-shard EBR ([`store::EbrStore`]),
+//!   shared-collector EBR ([`store::EbrSharedStore`], deliberately
+//!   *without* isolation, as the A/B baseline) and leaking NR
+//!   ([`store::NrStore`]).
+//!
+//! Crash story: a worker that panics closes and drains its ring on the way
+//! out (every queued command resolves to [`ShardDown`]), donates its
+//! reclamation state through the scheme's own panic-safe teardown, and
+//! sibling shards never notice. See `tests/shard_isolation.rs`.
+
+mod ring;
+mod service;
+mod shard;
+pub mod store;
+
+pub use ring::{Command, PushError};
+pub use service::{Client, KvService};
+pub use shard::ShardStatsSnapshot;
+pub use store::{EbrSharedStore, EbrStore, HppStore, NrStore, ShardStore};
+
+/// Fault points owned by this crate (see `smr_common::fault`).
+pub const FAULT_POINTS: &[&str] = &["kv::ring::full", "kv::worker::batch"];
+
+/// A command could not be completed because its shard's worker is gone
+/// (panicked or shut down).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardDown;
+
+impl std::fmt::Display for ShardDown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("shard worker is down")
+    }
+}
+
+impl std::error::Error for ShardDown {}
+
+/// Service configuration. Defaults come from the host shape; every field
+/// has an env override so deployments tune without recompiling.
+#[derive(Debug, Clone)]
+pub struct KvConfig {
+    /// Number of shards (workers). Default: available cores, `KV_SHARDS`.
+    pub shards: usize,
+    /// Max commands a worker drains per wakeup. Default 32, `KV_BATCH`.
+    pub batch: usize,
+    /// Per-shard command ring capacity, rounded up to a power of two.
+    /// Default 1024, `KV_RING`.
+    pub ring_depth: usize,
+    /// Hash buckets per shard's map. Default `ds::hash_map::DEFAULT_BUCKETS`,
+    /// `KV_BUCKETS`.
+    pub buckets: usize,
+}
+
+impl KvConfig {
+    /// Built-in defaults for the current host (no env consulted).
+    pub fn new() -> Self {
+        Self {
+            shards: available_cores(),
+            batch: 32,
+            ring_depth: 1024,
+            buckets: ds::hash_map::DEFAULT_BUCKETS,
+        }
+    }
+
+    /// Defaults with `KV_SHARDS` / `KV_BATCH` / `KV_RING` / `KV_BUCKETS`
+    /// applied. Unparseable or zero values fall back to the default.
+    pub fn from_env() -> Self {
+        let mut cfg = Self::new();
+        cfg.shards = env_usize("KV_SHARDS").unwrap_or(cfg.shards);
+        cfg.batch = env_usize("KV_BATCH").unwrap_or(cfg.batch);
+        cfg.ring_depth = env_usize("KV_RING").unwrap_or(cfg.ring_depth);
+        cfg.buckets = env_usize("KV_BUCKETS").unwrap_or(cfg.buckets);
+        cfg
+    }
+
+    /// Builder-style shard-count override.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+}
+
+impl Default for KvConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Available cores, the default shard count.
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.parse().ok().filter(|&n| n > 0)
+}
+
+/// SplitMix64 finalizer: decorrelates the shard index from the maps' own
+/// bucket hash and from adversarially sequential keys.
+#[inline]
+pub(crate) fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Maps a key onto `[0, shards)` — widening multiply on the mixed key, so
+/// every shard gets an equal slice of the hash space with no division.
+#[inline]
+pub fn shard_of_key(key: u64, shards: usize) -> usize {
+    ((mix64(key) as u128 * shards as u128) >> 64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_routing_is_in_range_and_balanced() {
+        for shards in [1usize, 2, 3, 4, 7, 16] {
+            let mut counts = vec![0u64; shards];
+            for key in 0..32_000u64 {
+                let s = shard_of_key(key, shards);
+                assert!(s < shards);
+                counts[s] += 1;
+            }
+            let expect = 32_000.0 / shards as f64;
+            for (i, &c) in counts.iter().enumerate() {
+                let skew = (c as f64 - expect).abs() / expect;
+                assert!(skew < 0.10, "shard {i}/{shards} skew {skew:.3} ({c} keys)");
+            }
+        }
+    }
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let cfg = KvConfig::new();
+        assert!(cfg.shards >= 1);
+        assert!(cfg.batch >= 1);
+        assert!(cfg.ring_depth >= 2);
+    }
+}

@@ -1,0 +1,410 @@
+//! Bounded MPSC command ring: the shard's front door.
+//!
+//! Vyukov-style sequence-stamped slots: each slot carries a `seq` counter
+//! that encodes whether it is free for the producer at position `pos`
+//! (`seq == pos`), holds a published entry (`seq == pos + 1`), or still
+//! belongs to a previous lap. Producers claim positions with a CAS on
+//! `tail`; the single consumer (the shard worker) pops in position order,
+//! so per-producer FIFO is preserved end to end — the batch-drain ordering
+//! guarantee the tests pin down.
+//!
+//! Backpressure: a full ring makes producers wait in
+//! [`smr_common::Backoff`]'s spin → yield → park escalator — bounded
+//! memory, no busy-spin, no hidden unbounded queue.
+//!
+//! Sleep/wake: the worker parks on a condvar when the ring is empty. The
+//! `sleeping` flag plus re-check under the doorbell mutex closes the lost
+//! wakeup race; a coarse wait timeout is belt and braces only.
+//!
+//! Crash story: when the worker dies (panic or shutdown), it *retires* the
+//! ring — closed + `worker_gone` — after which any client waiting on a
+//! response rescues the queue itself: it drains every published entry under
+//! `rescue` and fails it with [`ShardDown`]. Nothing ever blocks on a dead
+//! shard.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed, Release, SeqCst};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use smr_common::{Backoff, CachePadded};
+
+use crate::ShardDown;
+
+/// One key-value command. `u64 → u64` mirrors the workload engine's key
+/// space; the store layer is generic underneath if that ever widens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Read `key`.
+    Get { key: u64 },
+    /// Insert `key → value`; fails (None reply) if the key exists.
+    Put { key: u64, value: u64 },
+    /// Remove `key`, replying with the removed value.
+    Del { key: u64 },
+}
+
+impl Command {
+    /// The key this command routes on.
+    pub fn key(&self) -> u64 {
+        match *self {
+            Command::Get { key } | Command::Put { key, .. } | Command::Del { key } => key,
+        }
+    }
+}
+
+/// Why a push did not enqueue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The ring is closed (shutdown or dead worker); the command was never
+    /// queued.
+    Closed,
+}
+
+const PENDING: u32 = 0;
+const DONE_NONE: u32 = 1;
+const DONE_SOME: u32 = 2;
+const DROPPED: u32 = 3;
+
+/// A one-shot reply cell shared by the submitting client and the worker.
+/// Clients pool and reuse slots across commands ([`reset`](Self::reset)),
+/// so the steady state allocates nothing.
+#[derive(Debug)]
+pub(crate) struct ResponseSlot {
+    state: AtomicU32,
+    value: AtomicU64,
+}
+
+impl ResponseSlot {
+    pub(crate) fn new() -> Self {
+        Self {
+            state: AtomicU32::new(PENDING),
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Rearms a pooled slot for the next command. Caller must be the only
+    /// side still interested in it (the previous command completed).
+    pub(crate) fn reset(&self) {
+        self.state.store(PENDING, Relaxed);
+    }
+
+    /// Worker side: publish the result.
+    pub(crate) fn complete(&self, result: Option<u64>) {
+        match result {
+            Some(v) => {
+                self.value.store(v, Relaxed);
+                self.state.store(DONE_SOME, Release);
+            }
+            None => self.state.store(DONE_NONE, Release),
+        }
+    }
+
+    /// Marks the command failed if no result was published — the dead
+    /// worker / rescue path. Idempotent; never overwrites a real result.
+    pub(crate) fn drop_if_pending(&self) {
+        let _ = self
+            .state
+            .compare_exchange(PENDING, DROPPED, AcqRel, Relaxed);
+    }
+
+    /// Client side: non-blocking result check.
+    pub(crate) fn poll(&self) -> Option<Result<Option<u64>, ShardDown>> {
+        match self.state.load(Acquire) {
+            PENDING => None,
+            DONE_NONE => Some(Ok(None)),
+            DONE_SOME => Some(Ok(Some(self.value.load(Relaxed)))),
+            _ => Some(Err(ShardDown)),
+        }
+    }
+}
+
+pub(crate) type Entry = (Command, Arc<ResponseSlot>);
+
+struct Slot {
+    seq: AtomicUsize,
+    entry: UnsafeCell<MaybeUninit<Entry>>,
+}
+
+/// The worker's pillow: where it sleeps when the ring is empty.
+struct Doorbell {
+    sleeping: AtomicBool,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+pub(crate) struct Ring {
+    slots: Box<[Slot]>,
+    mask: usize,
+    /// Producer cursor.
+    tail: CachePadded<AtomicUsize>,
+    /// Consumer cursor. Atomic only so the rescue path can take over after
+    /// the worker dies; a live worker is the sole writer.
+    head: CachePadded<AtomicUsize>,
+    closed: AtomicBool,
+    /// Set (after `closed`) once the worker has exited; enables rescue.
+    worker_gone: AtomicBool,
+    /// Serializes post-mortem drains between rescuing clients.
+    rescue: Mutex<()>,
+    doorbell: Doorbell,
+}
+
+// Entries are moved across threads through the slots; Command and
+// Arc<ResponseSlot> are both Send.
+unsafe impl Send for Ring {}
+unsafe impl Sync for Ring {}
+
+impl Ring {
+    pub(crate) fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                entry: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        Self {
+            slots,
+            mask: cap - 1,
+            tail: CachePadded::new(AtomicUsize::new(0)),
+            head: CachePadded::new(AtomicUsize::new(0)),
+            closed: AtomicBool::new(false),
+            worker_gone: AtomicBool::new(false),
+            rescue: Mutex::new(()),
+            doorbell: Doorbell {
+                sleeping: AtomicBool::new(false),
+                lock: Mutex::new(()),
+                cv: Condvar::new(),
+            },
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub(crate) fn is_closed(&self) -> bool {
+        self.closed.load(Acquire)
+    }
+
+    pub(crate) fn is_worker_gone(&self) -> bool {
+        self.worker_gone.load(Acquire)
+    }
+
+    /// Enqueues a command. Blocks (via backoff, escalating to parking)
+    /// while the ring is full; fails only when the ring is closed.
+    pub(crate) fn push(&self, cmd: Command, resp: Arc<ResponseSlot>) -> Result<(), PushError> {
+        let mut backoff = Backoff::new();
+        loop {
+            if self.closed.load(Acquire) {
+                return Err(PushError::Closed);
+            }
+            let pos = self.tail.load(Relaxed);
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Acquire);
+            let lag = seq.wrapping_sub(pos) as isize;
+            if lag == 0 {
+                if self
+                    .tail
+                    .compare_exchange_weak(pos, pos.wrapping_add(1), Relaxed, Relaxed)
+                    .is_ok()
+                {
+                    unsafe { (*slot.entry.get()).write((cmd, resp)) };
+                    slot.seq.store(pos.wrapping_add(1), Release);
+                    self.ring_doorbell();
+                    return Ok(());
+                }
+                backoff.cas_failed();
+            } else if lag < 0 {
+                // Full: a whole lap behind. Wait for the consumer.
+                smr_common::fault_point!("kv::ring::full");
+                backoff.snooze();
+            } else {
+                // A producer ahead of us claimed the slot but has not
+                // published yet; its publish is imminent.
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Dequeues the next published entry. Single consumer: only the shard
+    /// worker while it lives, then rescuers serialized by `rescue`.
+    pub(crate) fn pop(&self) -> Option<Entry> {
+        let pos = self.head.load(Relaxed);
+        let slot = &self.slots[pos & self.mask];
+        if slot.seq.load(Acquire) != pos.wrapping_add(1) {
+            return None;
+        }
+        let entry = unsafe { (*slot.entry.get()).assume_init_read() };
+        // Free the slot for the producer one lap ahead.
+        slot.seq
+            .store(pos.wrapping_add(self.mask).wrapping_add(1), Release);
+        self.head.store(pos.wrapping_add(1), Release);
+        Some(entry)
+    }
+
+    /// Whether the consumer-side next entry is published.
+    fn has_next(&self) -> bool {
+        let pos = self.head.load(Relaxed);
+        self.slots[pos & self.mask].seq.load(Acquire) == pos.wrapping_add(1)
+    }
+
+    /// Worker: sleep until a producer rings the doorbell or the ring
+    /// closes. Returns immediately if either is already true.
+    pub(crate) fn wait_for_work(&self) {
+        self.doorbell.sleeping.store(true, SeqCst);
+        if self.has_next() || self.closed.load(SeqCst) {
+            self.doorbell.sleeping.store(false, SeqCst);
+            return;
+        }
+        let guard = self.doorbell.lock.lock().unwrap();
+        if self.doorbell.sleeping.load(SeqCst) && !self.has_next() && !self.closed.load(SeqCst) {
+            // The timeout is a backstop, not the protocol: the sleeping
+            // flag + re-check above already closes the lost-wakeup race.
+            let _ = self.doorbell.cv.wait_timeout(guard, Duration::from_millis(50));
+        }
+        self.doorbell.sleeping.store(false, SeqCst);
+    }
+
+    fn ring_doorbell(&self) {
+        if self.doorbell.sleeping.load(Relaxed) && self.doorbell.sleeping.swap(false, SeqCst) {
+            let _guard = self.doorbell.lock.lock().unwrap();
+            self.doorbell.cv.notify_all();
+        }
+    }
+
+    /// Stops accepting new commands and wakes the worker to drain what is
+    /// already queued.
+    pub(crate) fn close(&self) {
+        self.closed.store(true, SeqCst);
+        let _guard = self.doorbell.lock.lock().unwrap();
+        self.doorbell.sleeping.store(false, SeqCst);
+        self.doorbell.cv.notify_all();
+    }
+
+    /// Worker's last act (normal exit *and* unwind): close, hand the
+    /// consumer role to rescuers, and fail whatever is still queued.
+    pub(crate) fn retire(&self) {
+        self.close();
+        self.worker_gone.store(true, SeqCst);
+        self.rescue_drain();
+    }
+
+    /// Post-mortem drain: pops every published entry and fails it. Only
+    /// meaningful once `worker_gone`; callers race benignly via `rescue`.
+    pub(crate) fn rescue_drain(&self) {
+        let _guard = self.rescue.lock().unwrap();
+        while let Some((_, resp)) = self.pop() {
+            resp.drop_if_pending();
+        }
+    }
+
+    /// Client-side wait for a response on `slot`, rescuing the ring if the
+    /// worker died underneath us.
+    pub(crate) fn wait_response(&self, slot: &ResponseSlot) -> Result<Option<u64>, ShardDown> {
+        let mut backoff = Backoff::new();
+        loop {
+            if let Some(result) = slot.poll() {
+                return result;
+            }
+            if self.is_worker_gone() {
+                // Our entry is published (push returned Ok), so a rescue
+                // pass must resolve it — unless the worker died while
+                // executing it, in which case its reply guard already
+                // marked it dropped.
+                self.rescue_drain();
+                if let Some(result) = slot.poll() {
+                    return result;
+                }
+            }
+            backoff.snooze();
+        }
+    }
+}
+
+impl Drop for Ring {
+    fn drop(&mut self) {
+        // Entries may remain if the service was dropped without shutdown.
+        while let Some((_, resp)) = self.pop() {
+            resp.drop_if_pending();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(key: u64) -> (Command, Arc<ResponseSlot>) {
+        (Command::Get { key }, Arc::new(ResponseSlot::new()))
+    }
+
+    #[test]
+    fn fifo_within_capacity_and_across_wraparound() {
+        let ring = Ring::with_capacity(8);
+        // Three laps through an 8-slot ring.
+        let mut next_push = 0u64;
+        let mut next_pop = 0u64;
+        for _ in 0..3 {
+            for _ in 0..8 {
+                let (c, r) = entry(next_push);
+                ring.push(c, r).unwrap();
+                next_push += 1;
+            }
+            while let Some((c, _)) = ring.pop() {
+                assert_eq!(c.key(), next_pop);
+                next_pop += 1;
+            }
+        }
+        assert_eq!(next_pop, 24);
+        assert!(!ring.has_next());
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(Ring::with_capacity(1000).capacity(), 1024);
+        assert_eq!(Ring::with_capacity(1).capacity(), 2);
+    }
+
+    #[test]
+    fn push_after_close_is_rejected() {
+        let ring = Ring::with_capacity(4);
+        ring.close();
+        let (c, r) = entry(1);
+        assert_eq!(ring.push(c, r), Err(PushError::Closed));
+    }
+
+    #[test]
+    fn retire_fails_queued_commands() {
+        let ring = Ring::with_capacity(8);
+        let slots: Vec<_> = (0..4)
+            .map(|k| {
+                let (c, r) = entry(k);
+                ring.push(c, r.clone()).unwrap();
+                r
+            })
+            .collect();
+        ring.retire();
+        for s in &slots {
+            assert_eq!(s.poll(), Some(Err(ShardDown)));
+        }
+        assert_eq!(ring.wait_response(&slots[0]), Err(ShardDown));
+    }
+
+    #[test]
+    fn response_slot_roundtrip_and_reuse() {
+        let s = ResponseSlot::new();
+        assert_eq!(s.poll(), None);
+        s.complete(Some(7));
+        assert_eq!(s.poll(), Some(Ok(Some(7))));
+        // drop_if_pending never clobbers a real result.
+        s.drop_if_pending();
+        assert_eq!(s.poll(), Some(Ok(Some(7))));
+        s.reset();
+        assert_eq!(s.poll(), None);
+        s.complete(None);
+        assert_eq!(s.poll(), Some(Ok(None)));
+    }
+}

@@ -1,0 +1,309 @@
+//! Service lifecycle and the client API.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::ring::{Command, ResponseSlot};
+use crate::shard::{run_worker, Shard, ShardStatsSnapshot};
+use crate::store::{HppStore, ShardStore};
+use crate::{shard_of_key, KvConfig, ShardDown};
+
+/// The running service: one worker thread per shard.
+///
+/// ```
+/// let svc = kv_service::KvService::<kv_service::HppStore>::start(
+///     kv_service::KvConfig::new().with_shards(2),
+/// );
+/// let mut client = svc.client();
+/// assert_eq!(client.insert(7, 70), Ok(true));
+/// assert_eq!(client.get(7), Ok(Some(70)));
+/// svc.shutdown();
+/// ```
+pub struct KvService<S: ShardStore = HppStore> {
+    shards: Vec<Arc<Shard<S>>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<S: ShardStore> KvService<S> {
+    /// Builds the shards (each with its private reclamation domain) and
+    /// spawns one worker per shard.
+    pub fn start(cfg: KvConfig) -> Self {
+        let shard_count = cfg.shards.max(1);
+        let shards: Vec<Arc<Shard<S>>> = (0..shard_count)
+            .map(|_| Arc::new(Shard::new(S::new_shard(cfg.buckets), cfg.ring_depth)))
+            .collect();
+        let workers = shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                let shard = Arc::clone(shard);
+                let batch = cfg.batch.max(1);
+                std::thread::Builder::new()
+                    .name(format!("kv-shard-{i}"))
+                    .spawn(move || run_worker(shard, batch))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        Self { shards, workers }
+    }
+
+    /// A new client handle. Cheap: Arc clones plus an empty slot pool.
+    pub fn client(&self) -> Client<S> {
+        Client {
+            shards: self.shards.clone(),
+            free: Vec::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard serves `key`.
+    pub fn shard_of(&self, key: u64) -> usize {
+        shard_of_key(key, self.shards.len())
+    }
+
+    /// Current counters for shard `i`.
+    pub fn shard_stats(&self, i: usize) -> ShardStatsSnapshot {
+        self.shards[i].stats.snapshot()
+    }
+
+    /// Counters for every shard.
+    pub fn stats(&self) -> Vec<ShardStatsSnapshot> {
+        self.shards.iter().map(|s| s.stats.snapshot()).collect()
+    }
+
+    /// Shard `i`'s derived worst-case garbage bound, if its scheme has one.
+    pub fn garbage_bound(&self, i: usize) -> Option<u64> {
+        self.shards[i].store.garbage_bound()
+    }
+
+    /// Whether shard `i`'s worker has exited (normally or by panic).
+    pub fn worker_gone(&self, i: usize) -> bool {
+        self.shards[i].ring.is_worker_gone()
+    }
+
+    /// Read-only access to shard `i`'s store — fault tests derive bounds
+    /// (collect thresholds, slot capacities) from the live instance.
+    pub fn with_store<R>(&self, i: usize, f: impl FnOnce(&S) -> R) -> R {
+        f(&self.shards[i].store)
+    }
+
+    /// Graceful stop: close every ring, let workers drain what is queued,
+    /// join them, then adopt-and-free whatever their teardown donated.
+    /// Returns the final per-shard counters.
+    pub fn shutdown(mut self) -> Vec<ShardStatsSnapshot> {
+        self.stop();
+        let stats = self.stats();
+        self.shards.clear();
+        stats
+    }
+
+    fn stop(&mut self) {
+        for shard in &self.shards {
+            shard.ring.close();
+        }
+        for worker in self.workers.drain(..) {
+            // A panicked worker already reported itself; its ring is
+            // retired by the guard and its garbage donated by the scheme's
+            // teardown, so the join error carries no extra information.
+            let _ = worker.join();
+        }
+        for shard in &self.shards {
+            shard.store.drain_orphans();
+        }
+    }
+}
+
+impl<S: ShardStore> Drop for KvService<S> {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.stop();
+        }
+    }
+}
+
+/// A client handle: routes commands to shards and waits for replies.
+///
+/// Two modes:
+/// * one-shot ([`get`](Self::get) / [`insert`](Self::insert) /
+///   [`remove`](Self::remove)) — submit and wait;
+/// * pipelined ([`submit`](Self::submit) then [`drain`](Self::drain)) —
+///   keep many commands in flight and collect replies in submission
+///   order, which is what the benchmark uses to cover the rings' batching.
+///
+/// Reply slots are pooled and reused, so a steady-state client allocates
+/// nothing per command.
+pub struct Client<S: ShardStore> {
+    shards: Vec<Arc<Shard<S>>>,
+    free: Vec<Arc<ResponseSlot>>,
+    pending: Vec<(usize, Arc<ResponseSlot>)>,
+}
+
+impl<S: ShardStore> Client<S> {
+    /// Which shard serves `key`.
+    pub fn shard_of(&self, key: u64) -> usize {
+        shard_of_key(key, self.shards.len())
+    }
+
+    /// Commands submitted and not yet drained.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn take_slot(&mut self) -> Arc<ResponseSlot> {
+        let slot = self.free.pop().unwrap_or_else(|| Arc::new(ResponseSlot::new()));
+        slot.reset();
+        slot
+    }
+
+    /// Enqueues `cmd` without waiting. Blocks (backoff) while the target
+    /// ring is full; fails only if the shard is down. The reply is
+    /// collected by [`drain`](Self::drain), in submission order.
+    pub fn submit(&mut self, cmd: Command) -> Result<(), ShardDown> {
+        let shard = self.shard_of(cmd.key());
+        let slot = self.take_slot();
+        match self.shards[shard].ring.push(cmd, Arc::clone(&slot)) {
+            Ok(()) => {
+                self.pending.push((shard, slot));
+                Ok(())
+            }
+            Err(_) => {
+                self.free.push(slot);
+                Err(ShardDown)
+            }
+        }
+    }
+
+    /// Waits for every in-flight command, invoking `sink(index, reply)` in
+    /// submission order (`index` counts from 0 within this drain).
+    pub fn drain(&mut self, mut sink: impl FnMut(usize, Result<Option<u64>, ShardDown>)) {
+        let pending = std::mem::take(&mut self.pending);
+        for (i, (shard, slot)) in pending.into_iter().enumerate() {
+            let reply = self.shards[shard].ring.wait_response(&slot);
+            sink(i, reply);
+            self.free.push(slot);
+        }
+    }
+
+    fn call(&mut self, cmd: Command) -> Result<Option<u64>, ShardDown> {
+        let shard = self.shard_of(cmd.key());
+        let slot = self.take_slot();
+        let ring = &self.shards[shard].ring;
+        let reply = match ring.push(cmd, Arc::clone(&slot)) {
+            Ok(()) => ring.wait_response(&slot),
+            Err(_) => Err(ShardDown),
+        };
+        self.free.push(slot);
+        reply
+    }
+
+    /// Reads `key`.
+    pub fn get(&mut self, key: u64) -> Result<Option<u64>, ShardDown> {
+        self.call(Command::Get { key })
+    }
+
+    /// Inserts `key → value`; `Ok(false)` if the key already exists.
+    pub fn insert(&mut self, key: u64, value: u64) -> Result<bool, ShardDown> {
+        self.call(Command::Put { key, value }).map(|r| r.is_some())
+    }
+
+    /// Removes `key`, returning the removed value.
+    pub fn remove(&mut self, key: u64) -> Result<Option<u64>, ShardDown> {
+        self.call(Command::Del { key })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{EbrStore, NrStore};
+
+    fn smoke<S: ShardStore>() {
+        let svc = KvService::<S>::start(KvConfig {
+            shards: 2,
+            batch: 8,
+            ring_depth: 64,
+            buckets: 64,
+        });
+        let mut client = svc.client();
+        for k in 0..200u64 {
+            assert_eq!(client.insert(k, k * 10), Ok(true));
+        }
+        for k in 0..200u64 {
+            assert_eq!(client.get(k), Ok(Some(k * 10)));
+        }
+        for k in 0..100u64 {
+            assert_eq!(client.remove(k), Ok(Some(k * 10)));
+        }
+        assert_eq!(client.get(0), Ok(None));
+        assert_eq!(client.get(150), Ok(Some(1500)));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn end_to_end_over_each_store() {
+        smoke::<HppStore>();
+        smoke::<EbrStore>();
+        smoke::<NrStore>();
+    }
+
+    #[test]
+    fn pipelined_replies_arrive_in_submission_order() {
+        let svc = KvService::<HppStore>::start(KvConfig {
+            shards: 2,
+            batch: 8,
+            ring_depth: 64,
+            buckets: 64,
+        });
+        let mut client = svc.client();
+        for k in 0..100u64 {
+            client.submit(Command::Put { key: k, value: k + 1 }).unwrap();
+        }
+        assert_eq!(client.in_flight(), 100);
+        let mut replies = Vec::new();
+        client.drain(|i, r| replies.push((i, r)));
+        assert_eq!(client.in_flight(), 0);
+        assert_eq!(replies.len(), 100);
+        for (i, r) in replies {
+            assert_eq!(r, Ok(Some(i as u64 + 1)), "reply {i} out of order");
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn shutdown_returns_final_stats() {
+        let svc = KvService::<HppStore>::start(KvConfig {
+            shards: 2,
+            batch: 4,
+            ring_depth: 16,
+            buckets: 16,
+        });
+        let mut client = svc.client();
+        for k in 0..64u64 {
+            client.insert(k, k).unwrap();
+        }
+        let stats = svc.shutdown();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats.iter().map(|s| s.ops).sum::<u64>(), 64);
+        assert!(stats.iter().all(|s| s.batches > 0));
+    }
+
+    #[test]
+    fn commands_after_shutdown_fail_with_shard_down() {
+        let svc = KvService::<NrStore>::start(KvConfig {
+            shards: 1,
+            batch: 4,
+            ring_depth: 16,
+            buckets: 16,
+        });
+        let mut client = svc.client();
+        client.insert(1, 1).unwrap();
+        svc.shutdown();
+        assert_eq!(client.get(1), Err(ShardDown));
+        assert_eq!(client.submit(Command::Get { key: 1 }), Err(ShardDown));
+    }
+}

@@ -1,0 +1,201 @@
+//! Command-ring behavior through the public service API: bounded-queue
+//! backpressure (producers park via backoff instead of busy-spinning),
+//! per-key batch-drain ordering, and full-ring stress across wraparound.
+//!
+//! Tests that assert on the global backoff counters serialize on a local
+//! lock; the file is its own process, so other test binaries cannot
+//! perturb the counters mid-assertion.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+use kv_service::{Client, Command, HppStore, KvConfig, KvService, ShardStore};
+
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn wait_for(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::yield_now();
+    }
+}
+
+fn cfg(shards: usize, batch: usize, ring_depth: usize) -> KvConfig {
+    KvConfig {
+        shards,
+        batch,
+        ring_depth,
+        buckets: 64,
+    }
+}
+
+/// A store whose `get` blocks while [`GATE`] is closed — lets a test wedge
+/// the single worker and fill the ring behind it without fault injection.
+struct GatedStore {
+    inner: Mutex<HashMap<u64, u64>>,
+}
+
+static GATE: AtomicBool = AtomicBool::new(false);
+
+impl ShardStore for GatedStore {
+    type Handle = ();
+
+    fn new_shard(_buckets: usize) -> Self {
+        Self {
+            inner: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn handle(&self) -> Self::Handle {}
+
+    fn get(&self, _h: &mut Self::Handle, key: u64) -> Option<u64> {
+        while GATE.load(SeqCst) {
+            std::thread::yield_now();
+        }
+        self.inner.lock().unwrap().get(&key).copied()
+    }
+
+    fn insert(&self, _h: &mut Self::Handle, key: u64, value: u64) -> bool {
+        use std::collections::hash_map::Entry;
+        match self.inner.lock().unwrap().entry(key) {
+            Entry::Occupied(_) => false,
+            Entry::Vacant(v) => {
+                v.insert(value);
+                true
+            }
+        }
+    }
+
+    fn remove(&self, _h: &mut Self::Handle, key: u64) -> Option<u64> {
+        self.inner.lock().unwrap().remove(&key)
+    }
+
+    fn garbage(_h: &Self::Handle) -> u64 {
+        0
+    }
+
+    fn garbage_bound(&self) -> Option<u64> {
+        None
+    }
+
+    fn quiesce(&self, _h: &mut Self::Handle) {}
+
+    fn drain_orphans(&self) {}
+
+    const SCHEME: &'static str = "gated";
+}
+
+#[test]
+fn full_ring_backpressure_parks_producer_instead_of_busy_spinning() {
+    let _serial = serial();
+    // One shard, an 8-slot ring, and a gated worker: the worker picks up
+    // the first command and blocks inside the store, so everything else
+    // queues behind it.
+    let svc = KvService::<GatedStore>::start(cfg(1, 4, 8));
+    GATE.store(true, SeqCst);
+    let mut client = svc.client();
+    client.submit(Command::Get { key: 0 }).unwrap();
+    wait_for("worker to pick up the gated command", || {
+        svc.shard_stats(0).ops == 0 && client.in_flight() == 1 && {
+            // The worker popped the entry once it blocks in the store; give
+            // it a moment by checking the ring has space for what follows.
+            true
+        }
+    });
+    // Fill the ring to capacity (8 slots; the gated command was popped).
+    for k in 1..=8u64 {
+        client.submit(Command::Get { key: k }).unwrap();
+    }
+
+    // The 9th producer must wait. Its wait must escalate to parking —
+    // bounded-queue backpressure, not a spin loop burning the core.
+    let (_, _, parks_before) = smr_common::counters::total_backoff();
+    let producer = std::thread::spawn(move || {
+        let mut c: Client<GatedStore> = client;
+        c.submit(Command::Get { key: 99 }).unwrap();
+        c
+    });
+    wait_for("blocked producer to park", || {
+        smr_common::counters::total_backoff().2 > parks_before
+    });
+    assert!(!producer.is_finished(), "producer got in despite a full ring");
+
+    // Open the gate: the worker drains, the parked producer gets its slot,
+    // and every queued command completes.
+    GATE.store(false, SeqCst);
+    let mut client = producer.join().unwrap();
+    let mut replies = 0;
+    client.drain(|_, r| {
+        assert_eq!(r, Ok(None));
+        replies += 1;
+    });
+    assert_eq!(replies, 10);
+    let stats = svc.shutdown();
+    assert_eq!(stats[0].ops, 10);
+}
+
+#[test]
+fn batch_drain_preserves_per_key_program_order() {
+    let _serial = serial();
+    // Dependent op chains per key, pipelined through tiny rings so batches
+    // span wraparounds: each chain's replies must reflect program order —
+    // ring FIFO + in-order worker drain is the guarantee under test.
+    let svc = KvService::<HppStore>::start(cfg(2, 4, 16));
+    let mut client = svc.client();
+    let keys: Vec<u64> = (0..40).collect();
+    for &k in &keys {
+        client.submit(Command::Put { key: k, value: 1 }).unwrap();
+        client.submit(Command::Del { key: k }).unwrap();
+        client.submit(Command::Put { key: k, value: 2 }).unwrap();
+        client.submit(Command::Get { key: k }).unwrap();
+    }
+    let mut replies = Vec::new();
+    client.drain(|_, r| replies.push(r.unwrap()));
+    assert_eq!(replies.len(), keys.len() * 4);
+    for (i, _) in keys.iter().enumerate() {
+        let chain = &replies[i * 4..i * 4 + 4];
+        assert_eq!(
+            chain,
+            &[Some(1), Some(1), Some(2), Some(2)],
+            "key {i}: per-key order violated: {chain:?}"
+        );
+    }
+    svc.shutdown();
+}
+
+#[test]
+fn tiny_ring_survives_concurrent_producers_across_wraparound() {
+    let _serial = serial();
+    // 4 producers hammering a 4-slot ring: thousands of wraparounds and
+    // constant backpressure. Every command must complete exactly once.
+    const PRODUCERS: u64 = 4;
+    const OPS: u64 = 2_000;
+    let svc = KvService::<HppStore>::start(cfg(1, 8, 4));
+    std::thread::scope(|s| {
+        for p in 0..PRODUCERS {
+            let mut client = svc.client();
+            s.spawn(move || {
+                let base = p * OPS;
+                for k in base..base + OPS {
+                    assert_eq!(client.insert(k, k + 7), Ok(true));
+                }
+                for k in (base..base + OPS).step_by(2) {
+                    assert_eq!(client.remove(k), Ok(Some(k + 7)));
+                }
+            });
+        }
+    });
+    let mut client = svc.client();
+    for k in (1..PRODUCERS * OPS).step_by(2) {
+        assert_eq!(client.get(k), Ok(Some(k + 7)), "key {k} lost");
+    }
+    let stats = svc.shutdown();
+    assert_eq!(stats[0].ops, PRODUCERS * OPS + PRODUCERS * OPS / 2 + PRODUCERS * OPS / 2);
+    assert!(stats[0].max_batch >= 1);
+}

@@ -1,22 +1,31 @@
-//! A concurrent key-value cache on the HP++ chaining hash map.
+//! A session cache served by the sharded KV service.
 //!
 //! Run with: `cargo run --release --example kv_store`
 //!
-//! Simulates a session cache: lookups dominate, entries churn via
-//! insert/remove, and memory must stay bounded even under constant
-//! replacement — the workload class behind the paper's HashMap rows
-//! (Fig. 8/11).
+//! The PR-7 promotion of this example into `crates/kv-service` left this
+//! file as the service's demo client. The workload is unchanged — lookups
+//! dominate, entries churn via invalidation and refresh, and memory must
+//! stay bounded under constant replacement (the class behind the paper's
+//! HashMap rows, Fig. 8/11) — but the map now lives behind the service:
+//! keys route to `KV_SHARDS` shards, each shard's worker drains commands
+//! in batches from a bounded ring, and each shard retires into its own
+//! HP++ domain, so one slow shard cannot hold back its siblings' memory.
+//!
+//! Environment knobs (see EXPERIMENTS.md): `KV_SHARDS`, `KV_BATCH`,
+//! `KV_RING`, `KV_BUCKETS`.
 
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::time::Instant;
 
-use ds::hpp::HashMap;
-use ds::ConcurrentMap;
+use kv_service::{Command, KvConfig, KvService};
 
 const SESSIONS: u64 = 100_000;
 
 fn main() {
-    let cache: HashMap<u64, u64> = ConcurrentMap::new();
+    let cfg = KvConfig::from_env();
+    let shards = cfg.shards;
+    // Default store: HP++, one private domain per shard.
+    let svc: KvService = KvService::start(cfg);
     let hits = AtomicU64::new(0);
     let misses = AtomicU64::new(0);
     let started = Instant::now();
@@ -27,11 +36,10 @@ fn main() {
 
     std::thread::scope(|s| {
         for w in 0..workers as u64 {
-            let cache = &cache;
+            let mut client = svc.client();
             let hits = &hits;
             let misses = &misses;
             s.spawn(move || {
-                let mut handle = cache.handle();
                 let mut state = 0x9E3779B97F4A7C15u64.wrapping_mul(w + 1);
                 let mut next = move || {
                     state ^= state << 13;
@@ -44,22 +52,29 @@ fn main() {
                     match i % 10 {
                         // 80% lookups
                         0..=7 => {
-                            if cache.get(&mut handle, &session).is_some() {
+                            if client.get(session).expect("shard down").is_some() {
                                 hits.fetch_add(1, Relaxed);
                             } else {
                                 misses.fetch_add(1, Relaxed);
                                 // Cache miss: populate.
-                                cache.insert(&mut handle, session, i);
+                                client.insert(session, i).expect("shard down");
                             }
                         }
                         // 10% invalidations
                         8 => {
-                            cache.remove(&mut handle, &session);
+                            client.remove(session).expect("shard down");
                         }
-                        // 10% refreshes
+                        // 10% refreshes: pipelined — both commands ride the
+                        // same ring (same key → same shard) and the worker
+                        // executes them in order, often in one batch.
                         _ => {
-                            cache.remove(&mut handle, &session);
-                            cache.insert(&mut handle, session, i);
+                            client.submit(Command::Del { key: session }).expect("shard down");
+                            client
+                                .submit(Command::Put { key: session, value: i })
+                                .expect("shard down");
+                            client.drain(|_, r| {
+                                r.expect("shard down");
+                            });
                         }
                     }
                 }
@@ -67,13 +82,20 @@ fn main() {
         }
     });
 
+    let stats = svc.shutdown();
     let h = hits.load(Relaxed);
     let m = misses.load(Relaxed);
     println!(
-        "{workers} workers, {:.2}s: {h} hits / {m} misses ({:.1}% hit rate)",
+        "{workers} clients -> {shards} shards, {:.2}s: {h} hits / {m} misses ({:.1}% hit rate)",
         started.elapsed().as_secs_f64(),
         100.0 * h as f64 / (h + m) as f64,
     );
+    for (i, s) in stats.iter().enumerate() {
+        println!(
+            "  shard {i}: {} ops in {} batches (max batch {}, peak garbage {})",
+            s.ops, s.batches, s.max_batch, s.peak_garbage
+        );
+    }
     println!(
         "unreclaimed blocks at exit: {} (bounded despite constant churn)",
         smr_common::counters::garbage_now()

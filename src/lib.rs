@@ -8,6 +8,7 @@ pub use ds;
 pub use ebr;
 pub use hp;
 pub use hp_plus;
+pub use kv_service;
 pub use nr;
 pub use pebr;
 pub use smr_common;
