@@ -7,19 +7,24 @@
 //! Runs two sweeps over the read-mostly Zipfian scenario (90/5/5,
 //! θ = 0.99) and prints one CSV to stdout:
 //!
-//! * `scaling` — HP++ store at 1, 2, and 4 shards: the throughput-scaling
-//!   headline (per-shard reclamation domains mean shards add capacity
-//!   without sharing a collector bottleneck);
-//! * `schemes` — HP++ vs per-shard EBR vs NR at 4 shards: what the
+//! * `scaling` — HP++ store at 1, ⌈max/2⌉, and `max` shards: the
+//!   throughput-scaling headline (per-shard reclamation domains mean
+//!   shards add capacity without sharing a collector bottleneck). `max`
+//!   is 4, or `KV_SHARDS` when set;
+//! * `schemes` — HP++ vs per-shard EBR vs NR at `max` shards: what the
 //!   reclamation scheme costs end-to-end, through rings, batching, and the
 //!   map itself.
+//!
+//! Every run installs the `KV_POLICY`-selected trigger policy (default
+//! `capped`, the legacy trigger) on each shard's domain; the chosen policy
+//! is the last CSV column.
 //!
 //! Columns (see EXPERIMENTS.md):
 //! `section,scheme,shards,clients,pipeline,batch,ring,keys,theta,read_pct,
 //! warmup_ms,duration_ms,total_mops,min_shard_mops,max_shard_mops,p50_ns,
-//! p99_ns,p999_ns,peak_shard_garbage`
+//! p99_ns,p999_ns,peak_shard_garbage,policy`
 //!
-//! The scaling verdict (4-shard ÷ 1-shard throughput) goes to stderr with
+//! The scaling verdict (max-shard ÷ 1-shard throughput) goes to stderr with
 //! the host's core count: on a 1-core host every shard multiplexes the
 //! same CPU, so the ratio measures batching overhead, not scaling — the
 //! ≥ 4-core claim in EXPERIMENTS.md must come from a ≥ 4-core host.
@@ -27,13 +32,14 @@
 
 use bench::kv_run::{run_kv, KvResult, KvRun};
 use kv_service::{available_cores, EbrStore, HppStore, NrStore, ShardStore};
+use smr_common::policy::PolicyKind;
 
 const HEADER: &str = "section,scheme,shards,clients,pipeline,batch,ring,keys,theta,read_pct,\
 warmup_ms,duration_ms,total_mops,min_shard_mops,max_shard_mops,p50_ns,p99_ns,p999_ns,\
-peak_shard_garbage";
+peak_shard_garbage,policy";
 
-fn scenario(shards: usize, quick: bool) -> KvRun {
-    let rc = KvRun::read_mostly(shards);
+fn scenario(shards: usize, policy: PolicyKind, quick: bool) -> KvRun {
+    let rc = KvRun::read_mostly(shards).with_policy(policy);
     if quick {
         rc.quick()
     } else {
@@ -45,7 +51,7 @@ fn row<S: ShardStore>(section: &str, rc: &KvRun) -> KvResult {
     eprintln!("kv_bench: {section} {} x{} shards…", S::SCHEME, rc.shards);
     let r = run_kv::<S>(rc);
     println!(
-        "{section},{},{},{},{},{},{},{},{},{},{},{},{:.4},{:.4},{:.4},{},{},{},{}",
+        "{section},{},{},{},{},{},{},{},{},{},{},{},{:.4},{:.4},{:.4},{},{},{},{},{}",
         S::SCHEME,
         rc.shards,
         rc.clients,
@@ -64,6 +70,7 @@ fn row<S: ShardStore>(section: &str, rc: &KvRun) -> KvResult {
         r.p99_ns,
         r.p999_ns,
         r.peak_shard_garbage,
+        rc.policy,
     );
     r
 }
@@ -72,25 +79,37 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     println!("{HEADER}");
 
+    // The sweep's top shard count tracks the config: `KV_SHARDS` overrides
+    // the default 4 (the sweep used to hard-code [1, 2, 4] and ignore the
+    // override). `KV_POLICY` picks the per-shard trigger policy.
+    let max_shards = smr_common::env::parse_usize("KV_SHARDS")
+        .filter(|&n| n > 0)
+        .unwrap_or(4);
+    let policy = PolicyKind::from_env_var("KV_POLICY").unwrap_or_default();
+    let mut sweep = vec![1usize, max_shards.div_ceil(2), max_shards];
+    sweep.sort_unstable();
+    sweep.dedup();
+
     let mut one_shard = None;
-    let mut four_shard = None;
-    for shards in [1usize, 2, 4] {
-        let r = row::<HppStore>("scaling", &scenario(shards, quick));
-        match shards {
-            1 => one_shard = Some(r),
-            4 => four_shard = Some(r),
-            _ => {}
+    let mut top_shard = None;
+    for &shards in &sweep {
+        let r = row::<HppStore>("scaling", &scenario(shards, policy, quick));
+        if shards == 1 {
+            one_shard = Some(r);
+        }
+        if shards == max_shards {
+            top_shard = Some(r);
         }
     }
 
-    for_scheme_sweep(quick);
+    for_scheme_sweep(max_shards, policy, quick);
 
     let cores = available_cores();
-    if let (Some(s1), Some(s4)) = (one_shard, four_shard) {
-        let ratio = s4.total_mops / s1.total_mops.max(1e-9);
+    if let (Some(s1), Some(stop)) = (one_shard, top_shard) {
+        let ratio = stop.total_mops / s1.total_mops.max(1e-9);
         eprintln!(
-            "kv_bench: 1→4 shard scaling {ratio:.2}x on a {cores}-core host{}",
-            if cores >= 4 {
+            "kv_bench: 1→{max_shards} shard scaling {ratio:.2}x on a {cores}-core host{}",
+            if cores >= max_shards {
                 ""
             } else {
                 " (shards time-share the same cores here; measure scaling on >=4 cores)"
@@ -99,8 +118,8 @@ fn main() {
     }
 }
 
-fn for_scheme_sweep(quick: bool) {
-    let rc = scenario(4, quick);
+fn for_scheme_sweep(shards: usize, policy: PolicyKind, quick: bool) {
+    let rc = scenario(shards, policy, quick);
     row::<HppStore>("schemes", &rc);
     row::<EbrStore>("schemes", &rc);
     row::<NrStore>("schemes", &rc);

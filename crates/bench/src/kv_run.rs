@@ -53,6 +53,8 @@ pub struct KvRun {
     pub warmup: Duration,
     /// Measured window.
     pub duration: Duration,
+    /// Reclamation-trigger policy installed on every shard's domain.
+    pub policy: smr_common::policy::PolicyKind,
 }
 
 impl KvRun {
@@ -72,7 +74,14 @@ impl KvRun {
             remove_pct: 5,
             warmup: Duration::from_millis(300),
             duration: Duration::from_millis(1_500),
+            policy: smr_common::policy::PolicyKind::Capped,
         }
+    }
+
+    /// Builder-style per-shard policy override.
+    pub fn with_policy(mut self, policy: smr_common::policy::PolicyKind) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// Shrinks the scenario for smoke tests and snapshot quick runs.
@@ -114,6 +123,7 @@ pub fn run_kv<S: ShardStore>(rc: &KvRun) -> KvResult {
         ring_depth: rc.ring_depth,
         // ~4 keys per bucket at 50% occupancy, floor of 64.
         buckets: ((rc.keys / 8).max(64) as usize).next_power_of_two(),
+        policy: rc.policy,
     });
 
     // Prefill to 50% occupancy (even keys) so reads split hit/miss the way

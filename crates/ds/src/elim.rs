@@ -40,9 +40,7 @@ const PUSH_PATIENCE: u32 = 8;
 const PUSH_SPIN_STEPS: u32 = 2;
 
 fn slot_count() -> usize {
-    std::env::var("SMR_ELIM_SLOTS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
+    smr_common::env::parse_usize("SMR_ELIM_SLOTS")
         .filter(|&n| n >= 1)
         .unwrap_or(4)
         .min(64)

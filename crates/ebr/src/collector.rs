@@ -22,9 +22,10 @@
 //!   re-examining ineligible items.
 
 use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
+use smr_common::policy::{PolicySlot, ReclaimPolicy, Verdict};
 use smr_common::registry::{Node, Registry};
 use smr_common::{counters, fence as smr_fence, CachePadded, Retired};
 
@@ -45,12 +46,29 @@ const COLLECT_K: usize = 8;
 fn collect_threshold_floor() -> usize {
     static FLOOR: OnceLock<usize> = OnceLock::new();
     *FLOOR.get_or_init(|| {
-        std::env::var("EBR_COLLECT_THRESHOLD")
-            .ok()
-            .and_then(|s| s.parse().ok())
+        smr_common::env::parse_usize("EBR_COLLECT_THRESHOLD")
             .filter(|&n| n > 0)
             .unwrap_or(DEFAULT_COLLECT_THRESHOLD)
     })
+}
+
+/// EBR's pre-policy trigger formula as [`policy`](smr_common::policy)
+/// parameters: `bags.len() ≥ max(EBR_COLLECT_THRESHOLD, 8 · participants)`
+/// (`slots` in [`RetireStats`](smr_common::policy::RetireStats) is the live
+/// participant count for this scheme).
+pub fn legacy_trigger() -> smr_common::policy::Capped {
+    smr_common::policy::Capped {
+        floor: collect_threshold_floor(),
+        k: COLLECT_K,
+        period: 0,
+    }
+}
+
+/// The env-selected default policy (`SMR_POLICY*` refining
+/// [`legacy_trigger`]); with no policy env vars this is `Capped` with the
+/// legacy parameters — bit-identical trigger decisions.
+pub(crate) fn default_policy() -> Arc<dyn ReclaimPolicy> {
+    smr_common::policy::PolicyConfig::from_env().build(legacy_trigger())
 }
 
 /// Per-participant epoch state. `state` packs `(epoch << 1) | pinned`.
@@ -88,6 +106,9 @@ pub struct Collector {
     /// Entry count of `orphans`, maintained under the lock. Lets collections
     /// skip the mutex entirely in the common no-orphans case.
     orphan_count: AtomicUsize,
+    /// Collection-trigger policy; unset, the env-selected default over
+    /// [`legacy_trigger`] is built lazily at the first deferred destroy.
+    policy: PolicySlot,
 }
 
 impl Default for Collector {
@@ -105,7 +126,25 @@ impl Collector {
             registry: Registry::new(),
             orphans: Mutex::new(Vec::new()),
             orphan_count: AtomicUsize::new(0),
+            policy: PolicySlot::new(),
         }
+    }
+
+    /// Installs the collection-trigger policy (must run before the
+    /// collector's first deferred destroy; the slot latches). Returns
+    /// `false` if a policy was already installed.
+    pub fn set_policy(&self, policy: Arc<dyn ReclaimPolicy>) -> bool {
+        self.policy.install(policy)
+    }
+
+    /// Feeds a watchdog verdict to the trigger policy (`Adaptive` reacts;
+    /// the others ignore it).
+    pub fn report_verdict(&self, verdict: Verdict) {
+        self.policy.report_verdict(verdict);
+    }
+
+    pub(crate) fn policy_slot(&self) -> &PolicySlot {
+        &self.policy
     }
 
     /// Registers the current thread, returning its local handle.
@@ -120,6 +159,7 @@ impl Collector {
             record: self.registry.insert(Participant::new()),
             bags: GenBags::new(),
             guard_live: false,
+            last_collect_ns: 0,
         }
     }
 
@@ -232,6 +272,9 @@ pub struct LocalHandle {
     /// Epoch-stamped local garbage in sealed generation bags.
     pub(crate) bags: GenBags,
     pub(crate) guard_live: bool,
+    /// When this thread last ran a collection (mono ns; only maintained
+    /// when the installed policy wants time, else stays 0).
+    pub(crate) last_collect_ns: u64,
 }
 
 // The handle is only a registration token plus thread-local garbage; the
@@ -288,6 +331,27 @@ impl LocalHandle {
         self.bags.len()
     }
 
+    /// Asks the collector's trigger policy whether a deferred destroy
+    /// should attempt a collection now.
+    pub(crate) fn should_collect(&self) -> bool {
+        use smr_common::policy::{self, Decision, RetireStats};
+        let slot = self.global.policy_slot();
+        let policy = slot.get_or_init(default_policy);
+        let since_scan_ns = if policy.wants_time() {
+            smr_common::time::mono_ns().saturating_sub(self.last_collect_ns)
+        } else {
+            0
+        };
+        let stats = RetireStats {
+            retired: self.bags.len(),
+            slots: self.global.registry.live(),
+            ops: 0,
+            since_scan_ns,
+            verdict: slot.verdict(),
+        };
+        policy::decide(policy, &stats) == Decision::Reclaim
+    }
+
     /// Attempts an epoch advance and frees everything eligible.
     ///
     /// Must be called pinned (all callers hold a [`Guard`]): the registry
@@ -308,6 +372,10 @@ impl LocalHandle {
         smr_common::fault_point!("ebr::collect::after_adopt");
         let global_epoch = self.global.try_advance(&mut self.bags);
         self.bags.collect_expired(global_epoch);
+        let slot = self.global.policy_slot();
+        if slot.get_or_init(default_policy).wants_time() {
+            self.last_collect_ns = smr_common::time::mono_ns();
+        }
     }
 }
 

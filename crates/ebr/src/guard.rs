@@ -49,7 +49,7 @@ impl<'a> Guard<'a> {
         counters::incr_garbage(1);
         handle.bags.push(epoch, unsafe { Retired::new(ptr.as_raw()) });
         smr_common::fault_point!("ebr::defer::after_push");
-        if handle.bags.len() >= handle.global.collect_threshold() {
+        if handle.should_collect() {
             handle.collect();
         }
     }
@@ -65,7 +65,7 @@ impl<'a> Guard<'a> {
         handle
             .bags
             .push(epoch, unsafe { Retired::with_free(ptr, free_fn) });
-        if handle.bags.len() >= handle.global.collect_threshold() {
+        if handle.should_collect() {
             handle.collect();
         }
     }

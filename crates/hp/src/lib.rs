@@ -87,10 +87,28 @@ pub fn reclaim_k() -> usize {
     use std::sync::OnceLock;
     static K: OnceLock<usize> = OnceLock::new();
     *K.get_or_init(|| {
-        std::env::var("HP_RECLAIM_K")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
+        smr_common::env::parse_usize("HP_RECLAIM_K")
             .filter(|&k| k > 0)
             .unwrap_or(RECLAIM_K)
     })
+}
+
+/// HP's pre-policy trigger formula as [`policy`](smr_common::policy)
+/// parameters: `retired ≥ max(RECLAIM_THRESHOLD, reclaim_k() · H)`. This is
+/// what a [`Domain`](crate::Domain) runs when no policy is installed, and
+/// the base every other policy kind refines (kv-service builds per-shard
+/// `Adaptive`/`TimedCapped` policies over it).
+pub fn legacy_trigger() -> smr_common::policy::Capped {
+    smr_common::policy::Capped {
+        floor: RECLAIM_THRESHOLD,
+        k: reclaim_k(),
+        period: 0,
+    }
+}
+
+/// The env-selected default policy (`SMR_POLICY*` refining
+/// [`legacy_trigger`]); with no policy env vars this is `Capped` with the
+/// legacy parameters — bit-identical trigger decisions.
+pub(crate) fn default_policy() -> std::sync::Arc<dyn smr_common::policy::ReclaimPolicy> {
+    smr_common::policy::PolicyConfig::from_env().build(legacy_trigger())
 }

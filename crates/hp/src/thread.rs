@@ -1,5 +1,6 @@
 //! Per-thread HP state: slot cache, retired bag, reclamation.
 
+use smr_common::policy::{self, Decision, RetireStats};
 use smr_common::{counters, fence, Retired};
 
 use crate::domain::Domain;
@@ -24,6 +25,11 @@ pub struct Thread {
     /// scan start and survivors are pushed back, so both vectors keep their
     /// capacities across cycles.
     scan_bag: Vec<Retired>,
+    /// When this thread last completed a scan, for time-based policies
+    /// (only maintained while the installed policy
+    /// [`wants_time`](smr_common::policy::ReclaimPolicy::wants_time) —
+    /// other policies never pay the clock read).
+    last_scan_ns: u64,
 }
 
 unsafe impl Send for Thread {}
@@ -36,6 +42,7 @@ impl Thread {
             retired: Vec::new(),
             scan_protected: Vec::new(),
             scan_bag: Vec::new(),
+            last_scan_ns: 0,
         }
     }
 
@@ -81,9 +88,7 @@ impl Thread {
         counters::incr_garbage(1);
         self.retired.push(Retired::new(ptr));
         smr_common::fault_point!("hp::retire::after_push");
-        if self.retired.len() >= self.reclaim_threshold() {
-            self.reclaim();
-        }
+        self.maybe_reclaim();
     }
 
     /// Retires with a custom deleter.
@@ -93,7 +98,27 @@ impl Thread {
     pub unsafe fn retire_with(&mut self, ptr: *mut u8, free_fn: unsafe fn(*mut u8)) {
         counters::incr_garbage(1);
         self.retired.push(Retired::with_free(ptr, free_fn));
-        if self.retired.len() >= self.reclaim_threshold() {
+        self.maybe_reclaim();
+    }
+
+    /// Consults the domain's policy (installed, or the env-built default
+    /// over [`crate::legacy_trigger`]) and scans if it says to.
+    fn maybe_reclaim(&mut self) {
+        let slot = self.domain.policy_slot();
+        let policy = slot.get_or_init(crate::default_policy);
+        let since_scan_ns = if policy.wants_time() {
+            smr_common::time::mono_ns().saturating_sub(self.last_scan_ns)
+        } else {
+            0
+        };
+        let stats = RetireStats {
+            retired: self.retired.len(),
+            slots: self.domain.slot_capacity(),
+            ops: 0,
+            since_scan_ns,
+            verdict: slot.verdict(),
+        };
+        if policy::decide(policy, &stats) == Decision::Reclaim {
             self.reclaim();
         }
     }
@@ -163,6 +188,10 @@ impl Thread {
             } else {
                 unsafe { r.free() };
             }
+        }
+        let slot = self.domain.policy_slot();
+        if slot.get_or_init(crate::default_policy).wants_time() {
+            self.last_scan_ns = smr_common::time::mono_ns();
         }
     }
 }

@@ -74,6 +74,10 @@ pub struct KvConfig {
     /// Hash buckets per shard's map. Default `ds::hash_map::DEFAULT_BUCKETS`,
     /// `KV_BUCKETS`.
     pub buckets: usize,
+    /// Reclamation-trigger policy installed on every shard's private domain.
+    /// Default [`PolicyKind::Capped`] (the legacy trigger, bit-identical),
+    /// `KV_POLICY` (`eager`/`capped`/`timed`/`adaptive`).
+    pub policy: smr_common::policy::PolicyKind,
 }
 
 impl KvConfig {
@@ -84,23 +88,33 @@ impl KvConfig {
             batch: 32,
             ring_depth: 1024,
             buckets: ds::hash_map::DEFAULT_BUCKETS,
+            policy: smr_common::policy::PolicyKind::Capped,
         }
     }
 
-    /// Defaults with `KV_SHARDS` / `KV_BATCH` / `KV_RING` / `KV_BUCKETS`
-    /// applied. Unparseable or zero values fall back to the default.
+    /// Defaults with `KV_SHARDS` / `KV_BATCH` / `KV_RING` / `KV_BUCKETS` /
+    /// `KV_POLICY` applied. Unparseable or zero values fall back to the
+    /// default.
     pub fn from_env() -> Self {
         let mut cfg = Self::new();
         cfg.shards = env_usize("KV_SHARDS").unwrap_or(cfg.shards);
         cfg.batch = env_usize("KV_BATCH").unwrap_or(cfg.batch);
         cfg.ring_depth = env_usize("KV_RING").unwrap_or(cfg.ring_depth);
         cfg.buckets = env_usize("KV_BUCKETS").unwrap_or(cfg.buckets);
+        cfg.policy =
+            smr_common::policy::PolicyKind::from_env_var("KV_POLICY").unwrap_or(cfg.policy);
         cfg
     }
 
     /// Builder-style shard-count override.
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
+        self
+    }
+
+    /// Builder-style per-shard policy override.
+    pub fn with_policy(mut self, policy: smr_common::policy::PolicyKind) -> Self {
+        self.policy = policy;
         self
     }
 }
@@ -117,7 +131,7 @@ pub fn available_cores() -> usize {
 }
 
 fn env_usize(name: &str) -> Option<usize> {
-    std::env::var(name).ok()?.parse().ok().filter(|&n| n > 0)
+    smr_common::env::parse_usize(name).filter(|&n| n > 0)
 }
 
 /// SplitMix64 finalizer: decorrelates the shard index from the maps' own

@@ -30,7 +30,7 @@ impl<S: ShardStore> KvService<S> {
     pub fn start(cfg: KvConfig) -> Self {
         let shard_count = cfg.shards.max(1);
         let shards: Vec<Arc<Shard<S>>> = (0..shard_count)
-            .map(|_| Arc::new(Shard::new(S::new_shard(cfg.buckets), cfg.ring_depth)))
+            .map(|_| Arc::new(Shard::new(S::new_shard(cfg.buckets, cfg.policy), cfg.ring_depth)))
             .collect();
         let workers = shards
             .iter()
@@ -228,6 +228,7 @@ mod tests {
             batch: 8,
             ring_depth: 64,
             buckets: 64,
+            ..KvConfig::new()
         });
         let mut client = svc.client();
         for k in 0..200u64 {
@@ -258,6 +259,7 @@ mod tests {
             batch: 8,
             ring_depth: 64,
             buckets: 64,
+            ..KvConfig::new()
         });
         let mut client = svc.client();
         for k in 0..100u64 {
@@ -281,6 +283,7 @@ mod tests {
             batch: 4,
             ring_depth: 16,
             buckets: 16,
+            ..KvConfig::new()
         });
         let mut client = svc.client();
         for k in 0..64u64 {
@@ -299,6 +302,7 @@ mod tests {
             batch: 4,
             ring_depth: 16,
             buckets: 16,
+            ..KvConfig::new()
         });
         let mut client = svc.client();
         client.insert(1, 1).unwrap();

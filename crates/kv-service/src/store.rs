@@ -18,7 +18,18 @@
 //! the epoch for all of them. The shard-isolation test runs it as the A/B
 //! control for the per-shard [`EbrStore`].
 
+use smr_common::policy::{PolicyConfig, PolicyKind, Verdict};
 use smr_common::ConcurrentMap;
+
+/// The per-shard trigger-policy config: `KV_POLICY` (via
+/// [`KvConfig::policy`](crate::KvConfig)) picks the kind, while the
+/// process-wide `SMR_POLICY_THRESHOLD`/`SMR_POLICY_K`/`SMR_POLICY_TIMEOUT_MS`
+/// parameter overrides still apply.
+fn shard_policy_config(kind: PolicyKind) -> PolicyConfig {
+    let mut cfg = PolicyConfig::from_env();
+    cfg.kind = kind;
+    cfg
+}
 
 /// One shard's map + private reclamation domain.
 pub trait ShardStore: Send + Sync + Sized + 'static {
@@ -26,8 +37,11 @@ pub trait ShardStore: Send + Sync + Sized + 'static {
     type Handle;
 
     /// Builds the shard: fresh map, fresh domain. `buckets` sizes the
-    /// shard's hash table.
-    fn new_shard(buckets: usize) -> Self;
+    /// shard's hash table; `policy` selects the reclamation-trigger policy
+    /// installed on the shard's private domain (ignored by stores without
+    /// one — NR never reclaims, the shared-EBR control keeps the process
+    /// default).
+    fn new_shard(buckets: usize, policy: PolicyKind) -> Self;
 
     /// Registers a worker with this shard's domain.
     fn handle(&self) -> Self::Handle;
@@ -49,6 +63,11 @@ pub trait ShardStore: Send + Sync + Sized + 'static {
     /// Adopts and frees garbage donated by a dead worker.
     fn drain_orphans(&self);
 
+    /// Feeds a per-shard watchdog verdict to the shard's trigger policy
+    /// (`Adaptive` reacts; everything else — including stores without a
+    /// private domain — ignores it).
+    fn report_verdict(&self, _verdict: Verdict) {}
+
     /// Scheme tag for stats and bench CSV rows.
     const SCHEME: &'static str;
 }
@@ -64,11 +83,14 @@ pub struct HppStore {
 impl ShardStore for HppStore {
     type Handle = ds::hpp::Handle;
 
-    fn new_shard(buckets: usize) -> Self {
+    fn new_shard(buckets: usize, policy: PolicyKind) -> Self {
         // Shards live for the service's lifetime and domains must outlive
         // every handle they registered; leaking one small Domain per shard
         // is the same idiom the fault tests use.
         let domain: &'static hp_plus::Domain = Box::leak(Box::new(hp_plus::Domain::new()));
+        let cfg = shard_policy_config(policy);
+        domain.set_unlink_policy(cfg.build(hp_plus::legacy_unlink_trigger()));
+        domain.set_retire_policy(cfg.build(hp::legacy_trigger()));
         Self {
             domain,
             map: ds::hpp::hash_map_in(domain, buckets),
@@ -120,6 +142,10 @@ impl ShardStore for HppStore {
         thread.reclaim();
     }
 
+    fn report_verdict(&self, verdict: Verdict) {
+        self.domain.report_verdict(verdict);
+    }
+
     const SCHEME: &'static str = "hpp";
 }
 
@@ -143,8 +169,9 @@ impl EbrStore {
 impl ShardStore for EbrStore {
     type Handle = ebr::LocalHandle;
 
-    fn new_shard(buckets: usize) -> Self {
+    fn new_shard(buckets: usize, policy: PolicyKind) -> Self {
         let collector: &'static ebr::Collector = Box::leak(Box::new(ebr::Collector::new()));
+        collector.set_policy(shard_policy_config(policy).build(ebr::legacy_trigger()));
         Self {
             collector,
             map: ds::hash_map::HashMap::with_buckets(buckets),
@@ -194,6 +221,10 @@ impl ShardStore for EbrStore {
         }
     }
 
+    fn report_verdict(&self, verdict: Verdict) {
+        self.collector.report_verdict(verdict);
+    }
+
     const SCHEME: &'static str = "ebr";
 }
 
@@ -207,7 +238,9 @@ pub struct EbrSharedStore {
 impl ShardStore for EbrSharedStore {
     type Handle = ebr::LocalHandle;
 
-    fn new_shard(buckets: usize) -> Self {
+    fn new_shard(buckets: usize, _policy: PolicyKind) -> Self {
+        // The process-default collector is shared with everything else in
+        // the process; a per-shard policy must not latch onto it.
         Self {
             map: ds::hash_map::HashMap::with_buckets(buckets),
         }
@@ -261,7 +294,7 @@ pub struct NrStore {
 impl ShardStore for NrStore {
     type Handle = ();
 
-    fn new_shard(buckets: usize) -> Self {
+    fn new_shard(buckets: usize, _policy: PolicyKind) -> Self {
         Self {
             map: ds::hash_map::HashMap::with_buckets(buckets),
         }
@@ -301,7 +334,7 @@ mod tests {
     use super::*;
 
     fn roundtrip<S: ShardStore>() {
-        let store = S::new_shard(64);
+        let store = S::new_shard(64, PolicyKind::Capped);
         let mut h = store.handle();
         assert!(store.insert(&mut h, 1, 10));
         assert!(!store.insert(&mut h, 1, 11), "duplicate insert fails");
@@ -322,8 +355,8 @@ mod tests {
     #[test]
     fn private_domains_do_not_share_garbage() {
         // Churn in shard A must not move shard B's local garbage count.
-        let a = HppStore::new_shard(16);
-        let b = HppStore::new_shard(16);
+        let a = HppStore::new_shard(16, PolicyKind::Capped);
+        let b = HppStore::new_shard(16, PolicyKind::Capped);
         let mut ha = a.handle();
         let hb = b.handle();
         for k in 0..300u64 {

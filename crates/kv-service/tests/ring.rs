@@ -32,6 +32,7 @@ fn cfg(shards: usize, batch: usize, ring_depth: usize) -> KvConfig {
         batch,
         ring_depth,
         buckets: 64,
+        ..KvConfig::new()
     }
 }
 
@@ -46,7 +47,7 @@ static GATE: AtomicBool = AtomicBool::new(false);
 impl ShardStore for GatedStore {
     type Handle = ();
 
-    fn new_shard(_buckets: usize) -> Self {
+    fn new_shard(_buckets: usize, _policy: smr_common::policy::PolicyKind) -> Self {
         Self {
             inner: Mutex::new(HashMap::new()),
         }

@@ -40,6 +40,7 @@ fn cfg(shards: usize, batch: usize, ring_depth: usize) -> KvConfig {
         batch,
         ring_depth,
         buckets: 32,
+        ..KvConfig::new()
     }
 }
 

@@ -21,6 +21,7 @@ use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use smr_common::policy::{PolicySlot, ReclaimPolicy, Verdict};
 use smr_common::{counters, CachePadded, GuardedScheme, Retired, SchemeGuard, Shared};
 
 /// Retire this many blocks before attempting a collection. Public so tests
@@ -29,6 +30,25 @@ pub const COLLECT_THRESHOLD: usize = 128;
 /// Local garbage level at which stragglers get ejected. Public for the same
 /// derived-bound reason as [`COLLECT_THRESHOLD`].
 pub const EJECT_THRESHOLD: usize = 1024;
+
+/// PEBR's pre-policy trigger formula as [`policy`](smr_common::policy)
+/// parameters: a plain fixed threshold, `garbage.len() ≥ COLLECT_THRESHOLD`
+/// (no slot-proportional term — robustness comes from ejection, not from
+/// scaling the trigger).
+pub fn legacy_trigger() -> smr_common::policy::Capped {
+    smr_common::policy::Capped {
+        floor: COLLECT_THRESHOLD,
+        k: 0,
+        period: 0,
+    }
+}
+
+/// The env-selected default policy (`SMR_POLICY*` refining
+/// [`legacy_trigger`]); with no policy env vars this is `Capped` with the
+/// legacy parameters — bit-identical trigger decisions.
+fn default_policy() -> Arc<dyn ReclaimPolicy> {
+    smr_common::policy::PolicyConfig::from_env().build(legacy_trigger())
+}
 
 /// Named fault-injection points compiled into this crate (each a
 /// `smr_common::fault_point!` site; no-ops without the `fault-injection`
@@ -52,6 +72,9 @@ pub struct Collector {
     epoch: CachePadded<AtomicU64>,
     participants: Mutex<Vec<Arc<Participant>>>,
     orphans: Mutex<Vec<(u64, Retired)>>,
+    /// Collection-trigger policy; unset, the env-selected default over
+    /// [`legacy_trigger`] is built lazily at the first deferred destroy.
+    policy: PolicySlot,
 }
 
 impl Default for Collector {
@@ -67,7 +90,21 @@ impl Collector {
             epoch: CachePadded::new(AtomicU64::new(0)),
             participants: Mutex::new(Vec::new()),
             orphans: Mutex::new(Vec::new()),
+            policy: PolicySlot::new(),
         }
+    }
+
+    /// Installs the collection-trigger policy (must run before the
+    /// collector's first deferred destroy; the slot latches). Returns
+    /// `false` if a policy was already installed.
+    pub fn set_policy(&self, policy: Arc<dyn ReclaimPolicy>) -> bool {
+        self.policy.install(policy)
+    }
+
+    /// Feeds a watchdog verdict to the trigger policy (`Adaptive` reacts;
+    /// the others ignore it).
+    pub fn report_verdict(&self, verdict: Verdict) {
+        self.policy.report_verdict(verdict);
     }
 
     /// Registers the current thread.
@@ -87,6 +124,7 @@ impl Collector {
             record,
             garbage: Vec::new(),
             guard_live: false,
+            last_collect_ns: 0,
         }
     }
 
@@ -146,6 +184,9 @@ pub struct LocalHandle {
     record: Arc<Participant>,
     garbage: Vec<(u64, Retired)>,
     guard_live: bool,
+    /// When this thread last ran a collection (mono ns; only maintained
+    /// when the installed policy wants time, else stays 0).
+    last_collect_ns: u64,
 }
 
 unsafe impl Send for LocalHandle {}
@@ -184,6 +225,27 @@ impl LocalHandle {
         self.record.state.store(0, Ordering::Release);
     }
 
+    /// Asks the collector's trigger policy whether a deferred destroy
+    /// should attempt a collection now.
+    fn should_collect(&self) -> bool {
+        use smr_common::policy::{self, Decision, RetireStats};
+        let slot = &self.global.policy;
+        let policy = slot.get_or_init(default_policy);
+        let since_scan_ns = if policy.wants_time() {
+            smr_common::time::mono_ns().saturating_sub(self.last_collect_ns)
+        } else {
+            0
+        };
+        let stats = RetireStats {
+            retired: self.garbage.len(),
+            slots: 0,
+            ops: 0,
+            since_scan_ns,
+            verdict: slot.verdict(),
+        };
+        policy::decide(policy, &stats) == Decision::Reclaim
+    }
+
     fn collect(&mut self) {
         if let Some(mut orphans) = self.global.orphans.try_lock() {
             self.garbage.append(&mut orphans);
@@ -199,6 +261,9 @@ impl LocalHandle {
             } else {
                 i += 1;
             }
+        }
+        if self.global.policy.get_or_init(default_policy).wants_time() {
+            self.last_collect_ns = smr_common::time::mono_ns();
         }
     }
 }
@@ -258,7 +323,7 @@ impl Guard<'_> {
         let epoch = handle.global.epoch.load(Ordering::Relaxed);
         counters::incr_garbage(1);
         handle.garbage.push((epoch, Retired::new(ptr.as_raw())));
-        if handle.garbage.len() >= COLLECT_THRESHOLD {
+        if handle.should_collect() {
             handle.collect();
         }
     }
@@ -274,7 +339,7 @@ impl Guard<'_> {
         handle
             .garbage
             .push((epoch, Retired::with_free(ptr, free_fn)));
-        if handle.garbage.len() >= COLLECT_THRESHOLD {
+        if handle.should_collect() {
             handle.collect();
         }
     }

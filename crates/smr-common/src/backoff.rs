@@ -71,19 +71,16 @@ impl Default for BackoffConfig {
     }
 }
 
-fn env_u32(name: &str, default: u32) -> u32 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
 fn process_config() -> &'static BackoffConfig {
     static CONFIG: OnceLock<BackoffConfig> = OnceLock::new();
     CONFIG.get_or_init(|| BackoffConfig {
-        spin_limit: env_u32("SMR_BACKOFF_SPIN_LIMIT", 6).min(16),
-        max_exp: env_u32("SMR_BACKOFF_MAX_EXP", 10).min(20),
-        disabled: std::env::var("SMR_NO_BACKOFF").map(|v| v == "1").unwrap_or(false),
+        spin_limit: crate::env::parse_u32("SMR_BACKOFF_SPIN_LIMIT")
+            .unwrap_or(6)
+            .min(16),
+        max_exp: crate::env::parse_u32("SMR_BACKOFF_MAX_EXP")
+            .unwrap_or(10)
+            .min(20),
+        disabled: crate::env::parse_bool("SMR_NO_BACKOFF").unwrap_or(false),
     })
 }
 

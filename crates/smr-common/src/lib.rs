@@ -31,15 +31,25 @@
 //! * [`watchdog`] — [`GarbageWatchdog`](watchdog::GarbageWatchdog), which
 //!   classifies a run as healthy / degraded-bounded / growing-unbounded
 //!   from sampled progress + garbage counters (the Table 1 failure modes).
+//! * [`policy`] — pluggable reclamation-trigger strategies
+//!   ([`ReclaimPolicy`](policy::ReclaimPolicy): eager / capped /
+//!   timed-capped / watchdog-adaptive) consulted by every scheme's
+//!   retire path through a per-domain [`PolicySlot`](policy::PolicySlot);
+//!   knobs `SMR_POLICY`, `SMR_POLICY_THRESHOLD`, `SMR_POLICY_K`,
+//!   `SMR_POLICY_TIMEOUT_MS`.
+//! * [`env`] — shared env-var parsing with malformed-value accounting
+//!   (one warning + one [`counters::env_malformed`] bump per bad value).
 
 #![warn(missing_docs)]
 
 pub mod atomic;
 pub mod backoff;
 pub mod counters;
+pub mod env;
 pub mod fault;
 pub mod fence;
 pub mod map;
+pub mod policy;
 pub mod registry;
 pub mod retired;
 pub mod tagged;
