@@ -94,6 +94,17 @@ fn micro_protect(snap: &mut Snapshot) {
             }),
         );
     }
+    {
+        let domain: &'static hyaline::Domain = Box::leak(Box::new(hyaline::Domain::new()));
+        let mut handle = domain.register();
+        snap.record(
+            "ns.pin.hyaline",
+            per_op_ns(ITERS, || {
+                let g = handle.pin();
+                std::hint::black_box(&g);
+            }),
+        );
+    }
 }
 
 fn micro_reclaim(snap: &mut Snapshot) {
@@ -115,6 +126,18 @@ fn micro_reclaim(snap: &mut Snapshot) {
         let mut handle = collector.register();
         snap.record(
             "ns.reclaim.ebr",
+            per_op_ns(ITERS, || {
+                let guard = handle.pin();
+                let node = Shared::from_owned(0u64);
+                unsafe { guard.defer_destroy(node) };
+            }),
+        );
+    }
+    {
+        let domain: &'static hyaline::Domain = Box::leak(Box::new(hyaline::Domain::new()));
+        let mut handle = domain.register();
+        snap.record(
+            "ns.reclaim.hyaline",
             per_op_ns(ITERS, || {
                 let guard = handle.pin();
                 let node = Shared::from_owned(0u64);
@@ -150,7 +173,7 @@ fn best_of_2(sc: &Scenario) -> Option<bench::Stats> {
 }
 
 fn fig8_headline(snap: &mut Snapshot) {
-    for scheme in [Scheme::Ebr, Scheme::Hp, Scheme::Hpp] {
+    for scheme in bench::schemes::FIG8_HEADLINE {
         let sc = quick_scenario(Ds::HMList, scheme, 2, Workload::ReadWrite);
         if let Some(stats) = best_of_2(&sc) {
             let tag = scheme.to_string().replace("++", "p");

@@ -63,10 +63,13 @@ const CELLS: [Cell; 3] = [
 fn main() {
     let opts = Opts::parse();
     let threads = if opts.quick { 2 } else { 4 };
+    // The scheme sets come from the shared registry (bench::schemes), so a
+    // scheme that grows a PolicySlot joins the ablation by being listed
+    // there once.
     let schemes: &[Scheme] = if opts.quick {
-        &[Scheme::Hpp, Scheme::Ebr]
+        &bench::schemes::POLICY_QUICK
     } else {
-        &[Scheme::Hp, Scheme::Hpp, Scheme::Ebr, Scheme::Pebr]
+        &bench::schemes::POLICY
     };
 
     println!("# Figure 12: reclamation-policy ablation (policy x scheme x workload)");

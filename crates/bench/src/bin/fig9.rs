@@ -129,7 +129,7 @@ fn scan_storm_section(opts: &Opts) {
     println!("ds,scheme,threads,workload,throughput_mops,peak_garbage");
     let sweep = contention_threads(opts.quick);
     let threads = sweep[1.min(sweep.len() - 1)];
-    for scheme in [Scheme::Ebr, Scheme::Pebr, Scheme::Hpp] {
+    for scheme in bench::schemes::SCAN_STORM {
         for workload in [Workload::ReadMost, Workload::WriteOnly] {
             let sc = Scenario {
                 ds: Ds::HHSList,

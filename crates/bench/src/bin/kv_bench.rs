@@ -11,9 +11,9 @@
 //!   throughput-scaling headline (per-shard reclamation domains mean
 //!   shards add capacity without sharing a collector bottleneck). `max`
 //!   is 4, or `KV_SHARDS` when set;
-//! * `schemes` — HP++ vs per-shard EBR vs NR at `max` shards: what the
-//!   reclamation scheme costs end-to-end, through rings, batching, and the
-//!   map itself.
+//! * `schemes` — HP++ vs per-shard EBR vs per-shard hyaline vs NR at `max`
+//!   shards: what the reclamation scheme costs end-to-end, through rings,
+//!   batching, and the map itself.
 //!
 //! Every run installs the `KV_POLICY`-selected trigger policy (default
 //! `capped`, the legacy trigger) on each shard's domain; the chosen policy
@@ -31,7 +31,7 @@
 //! `--quick` shrinks windows and key range for CI smoke runs.
 
 use bench::kv_run::{run_kv, KvResult, KvRun};
-use kv_service::{available_cores, EbrStore, HppStore, NrStore, ShardStore};
+use kv_service::{available_cores, EbrStore, HppStore, HyalineStore, NrStore, ShardStore};
 use smr_common::policy::PolicyKind;
 
 const HEADER: &str = "section,scheme,shards,clients,pipeline,batch,ring,keys,theta,read_pct,\
@@ -122,5 +122,6 @@ fn for_scheme_sweep(shards: usize, policy: PolicyKind, quick: bool) {
     let rc = scenario(shards, policy, quick);
     row::<HppStore>("schemes", &rc);
     row::<EbrStore>("schemes", &rc);
+    row::<HyalineStore>("schemes", &rc);
     row::<NrStore>("schemes", &rc);
 }

@@ -131,17 +131,22 @@ pub enum Scheme {
     Hpp,
     /// CDRC reference counting.
     Rc,
+    /// Hyaline snapshot-free reclamation (reference-counted batch handover).
+    Hyaline,
 }
 
 impl Scheme {
-    /// All schemes, in the paper's legend order.
-    pub const ALL: [Scheme; 6] = [
+    /// All schemes, in the paper's legend order; post-paper additions
+    /// (hyaline) append at the end so existing figure legends keep their
+    /// positions.
+    pub const ALL: [Scheme; 7] = [
         Scheme::Nr,
         Scheme::Ebr,
         Scheme::Pebr,
         Scheme::Hp,
         Scheme::Hpp,
         Scheme::Rc,
+        Scheme::Hyaline,
     ];
 }
 
@@ -154,6 +159,7 @@ impl fmt::Display for Scheme {
             Scheme::Hp => "hp",
             Scheme::Hpp => "hp++",
             Scheme::Rc => "rc",
+            Scheme::Hyaline => "hyaline",
         };
         f.write_str(s)
     }
@@ -169,6 +175,7 @@ impl FromStr for Scheme {
             "hp" => Ok(Scheme::Hp),
             "hp++" | "hpp" => Ok(Scheme::Hpp),
             "rc" => Ok(Scheme::Rc),
+            "hyaline" => Ok(Scheme::Hyaline),
             _ => Err(format!("unknown scheme: {s}")),
         }
     }

@@ -21,6 +21,7 @@ pub mod kv_run;
 pub mod metrics;
 pub mod orchestrate;
 pub mod runner;
+pub mod schemes;
 pub mod snapshot;
 pub mod workload;
 

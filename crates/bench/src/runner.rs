@@ -279,8 +279,11 @@ pub fn applicable(ds: Ds, scheme: Scheme) -> bool {
         // guarded flavor; the optimistic queue is guarded-only (its lazy
         // prev repair needs whole-structure protection).
         (Ds::Stack | Ds::ElimStack, s) => matches!(s, Scheme::Hp | Scheme::Hpp),
-        (Ds::Queue, s) => matches!(s, Scheme::Hp | Scheme::Nr | Scheme::Ebr | Scheme::Pebr),
-        (Ds::OptQueue, s) => matches!(s, Scheme::Nr | Scheme::Ebr | Scheme::Pebr),
+        (Ds::Queue, s) => matches!(
+            s,
+            Scheme::Hp | Scheme::Nr | Scheme::Ebr | Scheme::Pebr | Scheme::Hyaline
+        ),
+        (Ds::OptQueue, s) => matches!(s, Scheme::Nr | Scheme::Ebr | Scheme::Pebr | Scheme::Hyaline),
         _ => true,
     }
 }
@@ -297,25 +300,28 @@ pub fn run(sc: &Scenario) -> Option<Stats> {
         return None;
     }
 
-    macro_rules! guarded3 {
+    macro_rules! guarded4 {
         ($list:ident) => {
             match sc.scheme {
                 Scheme::Nr => Some(run_map::<guarded::$list<u64, u64, nr::Nr>>(sc)),
                 Scheme::Ebr => Some(run_map::<guarded::$list<u64, u64, ebr::Ebr>>(sc)),
                 Scheme::Pebr => Some(run_map::<guarded::$list<u64, u64, pebr::Pebr>>(sc)),
+                Scheme::Hyaline => {
+                    Some(run_map::<guarded::$list<u64, u64, hyaline::Hyaline>>(sc))
+                }
                 _ => None,
             }
         };
     }
 
     match sc.ds {
-        Ds::HMList => guarded3!(HMList).or_else(|| match sc.scheme {
+        Ds::HMList => guarded4!(HMList).or_else(|| match sc.scheme {
             Scheme::Hp => Some(run_map::<dshp::HMList<u64, u64>>(sc)),
             Scheme::Hpp => Some(run_map::<hpp::HMList<u64, u64>>(sc)),
             Scheme::Rc => Some(run_map::<ds::cdrc::HMList<u64, u64>>(sc)),
             _ => None,
         }),
-        Ds::HHSList => guarded3!(HHSList).or_else(|| match sc.scheme {
+        Ds::HHSList => guarded4!(HHSList).or_else(|| match sc.scheme {
             Scheme::Hpp => Some(run_map::<hpp::HHSList<u64, u64>>(sc)),
             Scheme::Rc => Some(run_map::<ds::cdrc::HHSList<u64, u64>>(sc)),
             _ => None,
@@ -336,22 +342,25 @@ pub fn run(sc: &Scenario) -> Option<Stats> {
             Scheme::Rc => Some(run_map::<
                 ds::hash_map::HashMap<u64, u64, ds::cdrc::HHSList<u64, u64>>,
             >(sc)),
+            Scheme::Hyaline => Some(run_map::<
+                ds::hash_map::HashMap<u64, u64, guarded::HHSList<u64, u64, hyaline::Hyaline>>,
+            >(sc)),
         },
-        Ds::SkipList => guarded3!(SkipList).or_else(|| match sc.scheme {
+        Ds::SkipList => guarded4!(SkipList).or_else(|| match sc.scheme {
             Scheme::Hp => Some(run_map::<dshp::SkipList<u64, u64>>(sc)),
             Scheme::Hpp => Some(run_map::<hpp::SkipList<u64, u64>>(sc)),
             _ => None,
         }),
-        Ds::NMTree => guarded3!(NMTree).or_else(|| match sc.scheme {
+        Ds::NMTree => guarded4!(NMTree).or_else(|| match sc.scheme {
             Scheme::Hpp => Some(run_map::<hpp::NMTree<u64, u64>>(sc)),
             _ => None,
         }),
-        Ds::EFRBTree => guarded3!(EFRBTree).or_else(|| match sc.scheme {
+        Ds::EFRBTree => guarded4!(EFRBTree).or_else(|| match sc.scheme {
             Scheme::Hp => Some(run_map::<dshp::EFRBTree<u64, u64>>(sc)),
             Scheme::Hpp => Some(run_map::<hpp::EFRBTree<u64, u64>>(sc)),
             _ => None,
         }),
-        Ds::BonsaiTree => guarded3!(BonsaiTree).or_else(|| match sc.scheme {
+        Ds::BonsaiTree => guarded4!(BonsaiTree).or_else(|| match sc.scheme {
             Scheme::Hp => Some(run_map::<dshp::BonsaiTree<u64, u64>>(sc)),
             Scheme::Hpp => Some(run_map::<hpp::BonsaiTree<u64, u64>>(sc)),
             _ => None,
@@ -371,12 +380,18 @@ pub fn run(sc: &Scenario) -> Option<Stats> {
             Scheme::Nr => Some(run_map::<BagMap<guarded::MSQueue<u64, nr::Nr>>>(sc)),
             Scheme::Ebr => Some(run_map::<BagMap<guarded::MSQueue<u64, ebr::Ebr>>>(sc)),
             Scheme::Pebr => Some(run_map::<BagMap<guarded::MSQueue<u64, pebr::Pebr>>>(sc)),
+            Scheme::Hyaline => {
+                Some(run_map::<BagMap<guarded::MSQueue<u64, hyaline::Hyaline>>>(sc))
+            }
             _ => None,
         },
         Ds::OptQueue => match sc.scheme {
             Scheme::Nr => Some(run_map::<BagMap<guarded::OptQueue<u64, nr::Nr>>>(sc)),
             Scheme::Ebr => Some(run_map::<BagMap<guarded::OptQueue<u64, ebr::Ebr>>>(sc)),
             Scheme::Pebr => Some(run_map::<BagMap<guarded::OptQueue<u64, pebr::Pebr>>>(sc)),
+            Scheme::Hyaline => {
+                Some(run_map::<BagMap<guarded::OptQueue<u64, hyaline::Hyaline>>>(sc))
+            }
             _ => None,
         },
     }
@@ -427,11 +442,17 @@ mod tests {
             assert_eq!(applicable(Ds::ElimStack, scheme), stackish);
             assert_eq!(
                 applicable(Ds::Queue, scheme),
-                matches!(scheme, Scheme::Hp | Scheme::Nr | Scheme::Ebr | Scheme::Pebr)
+                matches!(
+                    scheme,
+                    Scheme::Hp | Scheme::Nr | Scheme::Ebr | Scheme::Pebr | Scheme::Hyaline
+                )
             );
             assert_eq!(
                 applicable(Ds::OptQueue, scheme),
-                matches!(scheme, Scheme::Nr | Scheme::Ebr | Scheme::Pebr)
+                matches!(
+                    scheme,
+                    Scheme::Nr | Scheme::Ebr | Scheme::Pebr | Scheme::Hyaline
+                )
             );
         }
     }

@@ -42,7 +42,7 @@ pub mod store;
 pub use ring::{Command, PushError};
 pub use service::{Client, KvService};
 pub use shard::ShardStatsSnapshot;
-pub use store::{EbrSharedStore, EbrStore, HppStore, NrStore, ShardStore};
+pub use store::{EbrSharedStore, EbrStore, HppStore, HyalineStore, NrStore, ShardStore};
 
 /// Fault points owned by this crate (see `smr_common::fault`).
 pub const FAULT_POINTS: &[&str] = &["kv::ring::full", "kv::worker::batch"];

@@ -228,6 +228,80 @@ impl ShardStore for EbrStore {
     const SCHEME: &'static str = "ebr";
 }
 
+/// Hyaline map over a **private** [`hyaline::Domain`] per shard:
+/// snapshot-free reference-counted batch handover. Unlike EBR there is no
+/// epoch to wedge — a batch waits only on the slots that were active at its
+/// handover — so the store has a derived stall-proof garbage bound where
+/// [`EbrStore`] must report `None`.
+pub struct HyalineStore {
+    domain: &'static hyaline::Domain,
+    map: GuardedMap<hyaline::Hyaline>,
+}
+
+impl ShardStore for HyalineStore {
+    type Handle = hyaline::LocalHandle;
+
+    fn new_shard(buckets: usize, policy: PolicyKind) -> Self {
+        let domain: &'static hyaline::Domain = Box::leak(Box::new(hyaline::Domain::new()));
+        domain.set_policy(shard_policy_config(policy).build(hyaline::legacy_trigger()));
+        Self {
+            domain,
+            map: ds::hash_map::HashMap::with_buckets(buckets),
+        }
+    }
+
+    fn handle(&self) -> Self::Handle {
+        // Bypasses `GuardedScheme::handle` (which registers with the
+        // process default) to register with this shard's domain.
+        self.domain.register()
+    }
+
+    fn get(&self, handle: &mut Self::Handle, key: u64) -> Option<u64> {
+        self.map.get(handle, &key)
+    }
+
+    fn insert(&self, handle: &mut Self::Handle, key: u64, value: u64) -> bool {
+        self.map.insert(handle, key, value)
+    }
+
+    fn remove(&self, handle: &mut Self::Handle, key: u64) -> Option<u64> {
+        self.map.remove(handle, &key)
+    }
+
+    fn garbage(handle: &Self::Handle) -> u64 {
+        handle.local_garbage() as u64
+    }
+
+    fn garbage_bound(&self) -> Option<u64> {
+        // One worker per shard: its unhanded batch plus the batches the
+        // worker's own critical sections can pin — `hyaline::garbage_bound`
+        // derives the cap from the handover trigger, never hard-coded.
+        Some(hyaline::garbage_bound(1) as u64)
+    }
+
+    fn quiesce(&self, handle: &mut Self::Handle) {
+        // Each pinned flush hands the local batch over; the guard drop
+        // releases this worker's own reference. Three rounds also adopt
+        // whatever orphans other workers donated meanwhile.
+        for _ in 0..3 {
+            handle.pin().flush();
+        }
+    }
+
+    fn drain_orphans(&self) {
+        let mut handle = self.domain.register();
+        for _ in 0..3 {
+            handle.pin().flush();
+        }
+    }
+
+    fn report_verdict(&self, verdict: Verdict) {
+        self.domain.report_verdict(verdict);
+    }
+
+    const SCHEME: &'static str = "hyaline";
+}
+
 /// EBR map over the **process-wide** default collector: no isolation, on
 /// purpose. The A/B control proving why domains must be per shard — one
 /// wedged pin here freezes reclamation for every shard.
@@ -350,6 +424,7 @@ mod tests {
         roundtrip::<EbrStore>();
         roundtrip::<EbrSharedStore>();
         roundtrip::<NrStore>();
+        roundtrip::<HyalineStore>();
     }
 
     #[test]
@@ -369,6 +444,31 @@ mod tests {
             HppStore::garbage(&ha) <= bound,
             "churning shard over its own bound: {} > {bound}",
             HppStore::garbage(&ha)
+        );
+    }
+
+    #[test]
+    fn private_hyaline_domains_do_not_share_garbage() {
+        // Same isolation property for the hyaline store: batches retired by
+        // shard A hand over within A's private domain only.
+        let a = HyalineStore::new_shard(16, PolicyKind::Capped);
+        let b = HyalineStore::new_shard(16, PolicyKind::Capped);
+        let mut ha = a.handle();
+        let hb = b.handle();
+        for k in 0..300u64 {
+            a.insert(&mut ha, k, k);
+            a.remove(&mut ha, k);
+        }
+        assert_eq!(
+            HyalineStore::garbage(&hb),
+            0,
+            "sibling shard charged for churn"
+        );
+        let bound = a.garbage_bound().unwrap();
+        assert!(
+            HyalineStore::garbage(&ha) <= bound,
+            "churning shard over its own bound: {} > {bound}",
+            HyalineStore::garbage(&ha)
         );
     }
 }

@@ -180,6 +180,27 @@ impl<T> Registry<T> {
     }
 }
 
+impl<T> Registry<T> {
+    /// Visits every live record without unlinking marked nodes.
+    ///
+    /// Unlike [`Registry::traverse`] this walk performs no CAS and never
+    /// restarts, so each record is visited **at most once** — the property
+    /// hyaline's handover push pass needs to bound the batch nodes it
+    /// consumes (a restarting traversal could push twice to one slot).
+    /// Records marked deleted are skipped but left linked.
+    pub fn traverse_live(&self, mut visit: impl FnMut(&T) -> bool) -> bool {
+        let mut curr = self.head.load(Ordering::Acquire);
+        while let Some(node) = unsafe { curr.as_ref() } {
+            let next = node.next.load(Ordering::Acquire);
+            if next.tag() & DELETED == 0 && !visit(&node.data) {
+                return false;
+            }
+            curr = next.with_tag(0);
+        }
+        true
+    }
+}
+
 impl<T> Drop for Registry<T> {
     fn drop(&mut self) {
         // Exclusive access: free everything still linked (live or marked).

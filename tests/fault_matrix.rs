@@ -5,7 +5,8 @@
 //! stalled readers, mid-invalidation preemption, panicking writers,
 //! dead-thread orphan storms, retire storms under a stalled collector —
 //! and asserts the scheme's Table 1 contract with exact counter deltas:
-//! bounded garbage for HP/HP++/PEBR, unbounded growth (flagged by the
+//! bounded garbage for HP/HP++/PEBR, the mid-enter-ejection and stalled-
+//! leaver bounds for hyaline, unbounded growth (flagged by the
 //! [`GarbageWatchdog`]) for EBR, and zero leaked nodes once faults clear.
 //!
 //! Requires `--features fault-injection`. Plans serialize on a process
@@ -624,6 +625,275 @@ fn backoff_parked_thread_keeps_garbage_bounded_and_drains() {
 }
 
 #[test]
+fn hyaline_stalled_enter_is_ejected_and_garbage_stays_bounded() {
+    // Hyaline's answer to the stall EBR cannot survive: a thread stalled in
+    // the announce-to-validate window (era + PENDING published, critical
+    // section not yet validated) holds no references, so the next handover
+    // ejects its stale announcement instead of reserving it a batch node.
+    // Contract: churn from other threads stays under the derived
+    // batches-in-flight bound, and releasing the stall drains to the exact
+    // node — the victim re-validates against the bumped era and pins
+    // nothing retroactively.
+    static DROPS: AtomicUsize = AtomicUsize::new(0);
+    struct Canary(#[allow(dead_code)] u64);
+    impl Drop for Canary {
+        fn drop(&mut self) {
+            DROPS.fetch_add(1, Relaxed);
+        }
+    }
+
+    let plan = fault::plan()
+        .at("hyaline::enter::before_validate", 1, FaultAction::Stall)
+        .install();
+    let d: &'static hyaline::Domain = Box::leak(Box::new(hyaline::Domain::new()));
+
+    let victim = std::thread::spawn(move || {
+        let mut h = d.register();
+        let g = h.pin(); // stalls mid-enter: announced, unvalidated
+        drop(g);
+    });
+    wait_for("victim stalled in enter", || {
+        fault::stalled_count("hyaline::enter::before_validate") == 1
+    });
+
+    // Worker churn (the nth=1 trigger is consumed, so our own enters pass
+    // through). Every handover ejects the victim and frees the batch as
+    // soon as our own leave returns its reference.
+    let mut worker = d.register();
+    let bound = hyaline::garbage_bound(2); // victim + worker
+    let mut created = 0usize;
+    for _ in 0..40 {
+        let g = worker.pin();
+        for _ in 0..64 {
+            unsafe { g.defer_destroy(smr_common::Shared::from_owned(Canary(7))) };
+            created += 1;
+        }
+        g.flush();
+        drop(g);
+        let garbage = created - DROPS.load(Relaxed);
+        assert!(
+            garbage <= bound,
+            "stalled enter must not break the handover bound: {garbage} > {bound}"
+        );
+    }
+    assert!(
+        DROPS.load(Relaxed) > 0,
+        "handovers reclaimed around the stalled enter"
+    );
+
+    fault::release("hyaline::enter::before_validate");
+    victim.join().unwrap();
+    drop(plan);
+
+    // Exact balance: the released victim validated a fresh era, so it never
+    // held a reference — a final flush round frees every single canary.
+    for _ in 0..8 {
+        let g = worker.pin();
+        g.flush();
+        drop(g);
+        if DROPS.load(Relaxed) == created {
+            break;
+        }
+    }
+    assert_eq!(DROPS.load(Relaxed), created, "all {created} canaries freed");
+}
+
+#[test]
+fn hyaline_stalled_leaver_pins_one_batch_and_drains_exactly() {
+    // The handover-decrement window: a leaver that detached its retirement
+    // list (critical section already over — its slot word is 0) but stalled
+    // before releasing the references. Contract: exactly the batches on the
+    // detached list stay pinned; later handovers skip the empty slot, so
+    // everyone else's garbage keeps draining, and the release frees the
+    // held batch to the exact node.
+    use std::sync::atomic::AtomicBool;
+    use std::sync::atomic::Ordering::{Acquire, Release};
+    static DROPS: AtomicUsize = AtomicUsize::new(0);
+    struct Canary(#[allow(dead_code)] u64);
+    impl Drop for Canary {
+        fn drop(&mut self) {
+            DROPS.fetch_add(1, Relaxed);
+        }
+    }
+    static PINNED: AtomicBool = AtomicBool::new(false);
+    static HANDED: AtomicBool = AtomicBool::new(false);
+    const FIRST: usize = 48;
+
+    let plan = fault::plan()
+        .at("hyaline::leave::before_decrement", 1, FaultAction::Stall)
+        .install();
+    let d: &'static hyaline::Domain = Box::leak(Box::new(hyaline::Domain::new()));
+
+    let victim = std::thread::spawn(move || {
+        let mut h = d.register();
+        let g = h.pin();
+        PINNED.store(true, Release);
+        while !HANDED.load(Acquire) {
+            std::thread::yield_now();
+        }
+        drop(g); // detaches the handed-over list, then stalls mid-walk
+    });
+    wait_for("victim pinned", || PINNED.load(Acquire));
+
+    // Hand the victim's validated critical section one batch of references.
+    // Our own guard stays live until the victim has stalled, so the
+    // victim's leave is the first to cross the fault point.
+    let mut worker = d.register();
+    let mut created = 0usize;
+    {
+        let g = worker.pin();
+        for _ in 0..FIRST {
+            unsafe { g.defer_destroy(smr_common::Shared::from_owned(Canary(7))) };
+            created += 1;
+        }
+        g.flush(); // the victim's slot takes one reference (ours does too)
+        HANDED.store(true, Release);
+        wait_for("victim stalled in leave", || {
+            fault::stalled_count("hyaline::leave::before_decrement") == 1
+        });
+        drop(g); // our reference comes back; the victim's is now the last
+    }
+    assert_eq!(DROPS.load(Relaxed), 0, "the detached list still pins its batch");
+
+    // Churn around the wedged leaver: its slot word is already 0, so new
+    // handovers never reach it — only the first batch stays pinned.
+    let bound = FIRST + hyaline::garbage_bound(2);
+    for _ in 0..30 {
+        let g = worker.pin();
+        for _ in 0..64 {
+            unsafe { g.defer_destroy(smr_common::Shared::from_owned(Canary(7))) };
+            created += 1;
+        }
+        g.flush();
+        drop(g);
+        let garbage = created - DROPS.load(Relaxed);
+        assert!(
+            garbage <= bound,
+            "stalled leaver must pin only its detached list: {garbage} > {bound}"
+        );
+    }
+    assert_eq!(
+        created - DROPS.load(Relaxed),
+        FIRST,
+        "exactly the handed-over batch remains pinned"
+    );
+
+    fault::release("hyaline::leave::before_decrement");
+    victim.join().unwrap();
+    drop(plan);
+
+    // The woken leaver's decrement was the zero transition: exact balance.
+    assert_eq!(DROPS.load(Relaxed), created, "all {created} canaries freed");
+}
+
+#[test]
+fn hyaline_preempted_retire_and_handover_windows_leak_nothing() {
+    // Preempt hyaline threads at the retire-link, the post-fence handover
+    // traverse, and the final refs adjustment — the three windows where a
+    // batch is visible to leavers but its count is not yet settled — while
+    // two threads churn one list. Contract: leavers driving the count
+    // negative before the adjustment is exactly the designed race; once the
+    // threads quiesce, a fresh handle adopts the donated leftovers and
+    // global garbage returns to where it started.
+    let plan = fault::plan()
+        .every("hyaline::retire::after_link", 2, FaultAction::YieldStorm(20))
+        .every(
+            "hyaline::handover::before_traverse",
+            1,
+            FaultAction::YieldStorm(10),
+        )
+        .every(
+            "hyaline::handover::before_adjust",
+            1,
+            FaultAction::YieldStorm(15),
+        )
+        .install();
+
+    let before = smr_common::counters::garbage_now();
+    let m: ds::guarded::HMList<u64, u64, hyaline::Hyaline> = ConcurrentMap::new();
+    std::thread::scope(|s| {
+        for t in 0..2u64 {
+            let m = &m;
+            s.spawn(move || {
+                let mut h = m.handle();
+                for r in 0..150 {
+                    for k in 0..8 {
+                        m.insert(&mut h, t * 1000 + k, r);
+                    }
+                    for k in 0..8 {
+                        m.remove(&mut h, &(t * 1000 + k));
+                    }
+                }
+            });
+        }
+    });
+    drop(plan);
+
+    // Both churners are gone (their teardowns donated unhanded batches). A
+    // fresh handle adopts and hands them over; its own leave frees them.
+    let mut survivor = hyaline::default_domain().register();
+    for _ in 0..100 {
+        let g = survivor.pin();
+        g.flush();
+        drop(g);
+        if smr_common::counters::garbage_now() <= before {
+            break;
+        }
+    }
+    let after = smr_common::counters::garbage_now();
+    assert!(
+        after <= before,
+        "preempted handover windows leaked {} nodes",
+        after - before
+    );
+}
+
+#[test]
+fn hyaline_panicking_teardown_still_donates() {
+    // A thread that dies *inside its own teardown* (injected panic before
+    // the donation) must still unregister its slot and donate every
+    // unhanded payload — the Drop guard in `LocalHandle::drop` runs during
+    // unwinding too. Exact orphan balance, then a survivor adopts and
+    // frees everything through the normal handover grace period.
+    static DROPS: AtomicUsize = AtomicUsize::new(0);
+    struct Canary(#[allow(dead_code)] u64);
+    impl Drop for Canary {
+        fn drop(&mut self) {
+            DROPS.fetch_add(1, Relaxed);
+        }
+    }
+    const N: usize = 50; // below the handover threshold: nothing freed early
+
+    let plan = fault::plan()
+        .at("hyaline::teardown::before_donate", 1, FaultAction::Panic)
+        .install();
+    let d: &'static hyaline::Domain = Box::leak(Box::new(hyaline::Domain::new()));
+    let mut t = d.register();
+    {
+        let g = t.pin();
+        for _ in 0..N {
+            unsafe { g.defer_destroy(smr_common::Shared::from_owned(Canary(7))) };
+        }
+        drop(g);
+    }
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| drop(t)));
+    assert!(err.is_err(), "teardown must have panicked");
+    assert_eq!(DROPS.load(Relaxed), 0, "nothing freed by the dying thread");
+    assert_eq!(d.orphan_count(), N, "the Drop guard donated all {N} nodes");
+    assert_eq!(d.participants(), 0, "the dying slot was unregistered");
+
+    let mut survivor = d.register();
+    {
+        let g = survivor.pin();
+        g.flush(); // adopt the orphans, hand them to our own slot
+        drop(g); // the leave is the zero transition
+    }
+    assert_eq!(DROPS.load(Relaxed), N, "survivor adopted and freed all {N}");
+    assert_eq!(d.orphan_count(), 0);
+    drop(plan);
+}
+
+#[test]
 fn all_fault_points_are_reachable() {
     // Coverage: every point a crate declares in its FAULT_POINTS const is
     // actually crossed by a small targeted scenario — a renamed or orphaned
@@ -687,6 +957,19 @@ fn all_fault_points_are_reachable() {
         drop(straggler);
         drop(reclaimer);
     }
+    // hyaline: enter, retire-link, both handover windows, the leave walk
+    // (the flush hands the batch to our own slot), teardown donation.
+    {
+        let d: &'static hyaline::Domain = Box::leak(Box::new(hyaline::Domain::new()));
+        let mut h = d.register();
+        {
+            let g = h.pin();
+            unsafe { g.defer_destroy(smr_common::Shared::from_owned(5u64)) };
+            g.flush();
+            drop(g);
+        }
+        drop(h);
+    }
     // ds: a guarded traversal crosses the validate window.
     {
         let m: ds::guarded::HMList<u64, u64, ebr::Ebr> = ds::guarded::HMList::new();
@@ -715,6 +998,7 @@ fn all_fault_points_are_reachable() {
         .chain(ebr::FAULT_POINTS)
         .chain(hp_plus::FAULT_POINTS)
         .chain(pebr::FAULT_POINTS)
+        .chain(hyaline::FAULT_POINTS)
         .chain(ds::FAULT_POINTS)
         .chain(smr_common::FAULT_POINTS);
     let mut missed = Vec::new();

@@ -65,6 +65,11 @@ macro_rules! trace_props {
 }
 
 trace_props!(trace_hmlist_ebr, ds::guarded::HMList<u64, u64, ebr::Ebr>);
+trace_props!(trace_hmlist_hyaline, ds::guarded::HMList<u64, u64, hyaline::Hyaline>);
+trace_props!(
+    trace_hashmap_hyaline,
+    ds::hash_map::HashMap<u64, u64, ds::guarded::HHSList<u64, u64, hyaline::Hyaline>>
+);
 trace_props!(trace_hhslist_hpp, ds::hpp::HHSList<u64, u64>);
 trace_props!(trace_hmlist_hp, ds::hp::HMList<u64, u64>);
 trace_props!(trace_hmlist_rc, ds::cdrc::HMList<u64, u64>);

@@ -4,8 +4,12 @@
 //!
 //! Every bound here is *derived from the schemes' published formulas*
 //! (HP's `k·H + threshold` rule, EBR's `max(floor, 8·participants)`
-//! trigger, PEBR's collect/eject thresholds) rather than hard-coded, so
-//! tuning `HP_RECLAIM_K` / `EBR_COLLECT_THRESHOLD` does not break them.
+//! trigger, PEBR's collect/eject thresholds, hyaline's handover trigger)
+//! rather than hard-coded, so tuning `HP_RECLAIM_K` /
+//! `EBR_COLLECT_THRESHOLD` / `HYALINE_BATCH_THRESHOLD` does not break
+//! them. The guarded schemes are enumerated by the shared registry
+//! (`bench::schemes`), so a newly added scheme is churned here without
+//! touching this file — and fails until it states its derived bound.
 //! The deterministic fault-driven matrix lives in `tests/fault_matrix.rs`
 //! (requires the `fault-injection` feature); these tests stay always-on.
 
@@ -74,6 +78,59 @@ fn hpp_garbage_bounded_under_churn() {
         grown < bound,
         "HP++ garbage grew to {grown}, bound {bound} (H={h_slots})"
     );
+}
+
+/// Registry-driven churn: every scheme in `bench::schemes::GUARDED` runs
+/// the same quiescent churn. NR must leak the whole retire volume; every
+/// other guarded scheme must stay under the bound derived from its own
+/// trigger formula. The `match` below is deliberately exhaustive over the
+/// registry — adding a guarded scheme there fails this test until the
+/// scheme's derived bound is stated.
+#[test]
+fn guarded_registry_churn_bounds() {
+    let _serial = serial();
+    const ROUNDS: u64 = 500;
+    const TOTAL_RETIRES: u64 = ROUNDS * 16;
+
+    struct Churn;
+    impl bench::schemes::GuardedVisitor for Churn {
+        fn visit<S: GuardedScheme>(&mut self, scheme: bench::Scheme) {
+            let m: ds::guarded::HMList<u64, u64, S> = ConcurrentMap::new();
+            let mut h = ConcurrentMap::handle(&m);
+            let before = smr_common::counters::garbage_now();
+            churn_n(&m, &mut h, ROUNDS);
+            let grown = smr_common::counters::garbage_now().saturating_sub(before);
+            drop(h);
+            match scheme {
+                bench::Scheme::Nr => assert!(
+                    grown >= TOTAL_RETIRES,
+                    "NR must leak every retire: {grown} < {TOTAL_RETIRES}"
+                ),
+                bench::Scheme::Ebr => {
+                    // A quiescent single pinner collects every threshold
+                    // retires; a few generation bags stay in flight.
+                    let bound = 4 * ebr::default_collector().collect_threshold() as u64;
+                    assert!(grown < bound, "EBR churn garbage {grown} over bound {bound}");
+                }
+                bench::Scheme::Pebr => {
+                    let bound = 2 * (pebr::EJECT_THRESHOLD + 2 * pebr::COLLECT_THRESHOLD) as u64;
+                    assert!(grown < bound, "PEBR churn garbage {grown} over bound {bound}");
+                }
+                bench::Scheme::Hyaline => {
+                    // One participant: the local batch below the handover
+                    // trigger plus the handed-over batch its own critical
+                    // section still references.
+                    let bound = hyaline::garbage_bound(1) as u64;
+                    assert!(
+                        grown < bound,
+                        "hyaline churn garbage {grown} over bound {bound}"
+                    );
+                }
+                other => panic!("registry grew {other}: state its derived churn bound here"),
+            }
+        }
+    }
+    bench::schemes::for_each_guarded(&mut Churn);
 }
 
 #[test]
