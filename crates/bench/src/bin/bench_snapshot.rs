@@ -25,7 +25,7 @@
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
-use bench::kv_run::{run_kv, KvResult, KvRun};
+use bench::kv_run::{run_kv, run_kv_recovery, KvResult, KvRun};
 use bench::snapshot::{compare, find_baseline, host_shape_mismatch, tolerance_from_env, Snapshot};
 use bench::{run, Ds, Scenario, Scheme, Workload};
 use kv_service::HppStore;
@@ -249,6 +249,16 @@ fn kv_headline(snap: &mut Snapshot) {
     }
 }
 
+fn recovery_headline(snap: &mut Snapshot) {
+    // Crash → quarantine → respawn cycles on a supervised single shard.
+    // Both metrics are informational (snapshot::gates exempts them):
+    // respawn latency is mostly thread spawn + supervisor wakeup, pure
+    // scheduler noise on a loaded host — tracked for trajectory, not gated.
+    let r = run_kv_recovery::<HppStore>(4, 512);
+    snap.record("ns.kv.respawn", r.mean_respawn_ns as f64);
+    snap.record("mops.kv.recovery", r.recovery_mops);
+}
+
 fn policy_headline(snap: &mut Snapshot) {
     // Policy × single-shard KV: in-process per-policy runs are sound here
     // because `KvRun::policy` reaches each shard's domain as an explicit
@@ -282,6 +292,8 @@ fn measure() -> Snapshot {
     contended_bags(&mut snap);
     eprintln!("bench_snapshot: kv service headline…");
     kv_headline(&mut snap);
+    eprintln!("bench_snapshot: kv recovery headline…");
+    recovery_headline(&mut snap);
     eprintln!("bench_snapshot: policy headline…");
     policy_headline(&mut snap);
     snap.record_host_meta();

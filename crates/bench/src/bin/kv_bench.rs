@@ -50,8 +50,8 @@ fn scenario(shards: usize, policy: PolicyKind, quick: bool) -> KvRun {
 fn row<S: ShardStore>(section: &str, rc: &KvRun) -> KvResult {
     eprintln!("kv_bench: {section} {} x{} shards…", S::SCHEME, rc.shards);
     let r = run_kv::<S>(rc);
-    println!(
-        "{section},{},{},{},{},{},{},{},{},{},{},{},{:.4},{:.4},{:.4},{},{},{},{},{}",
+    let prefix = format!(
+        "{section},{},{},{},{},{},{},{},{},{},{},{}",
         S::SCHEME,
         rc.shards,
         rc.clients,
@@ -63,15 +63,33 @@ fn row<S: ShardStore>(section: &str, rc: &KvRun) -> KvResult {
         rc.read_pct,
         rc.warmup.as_millis(),
         rc.duration.as_millis(),
-        r.total_mops,
-        r.min_shard_mops,
-        r.max_shard_mops,
-        r.p50_ns,
-        r.p99_ns,
-        r.p999_ns,
-        r.peak_shard_garbage,
-        rc.policy,
     );
+    if r.timeouts > 0 {
+        // Ops blew their per-op deadline: the fig9 convention — keep the
+        // full column schema but put `timeout` in every stat column, so
+        // numeric consumers skip the row without losing which
+        // configuration wedged (and the bench never hangs on it).
+        eprintln!(
+            "kv_bench: {section} {} x{}: {} ops exceeded the op deadline",
+            S::SCHEME,
+            rc.shards,
+            r.timeouts
+        );
+        let stats = ["timeout"; 7].join(",");
+        println!("{prefix},{stats},{}", rc.policy);
+    } else {
+        println!(
+            "{prefix},{:.4},{:.4},{:.4},{},{},{},{},{}",
+            r.total_mops,
+            r.min_shard_mops,
+            r.max_shard_mops,
+            r.p50_ns,
+            r.p99_ns,
+            r.p999_ns,
+            r.peak_shard_garbage,
+            rc.policy,
+        );
+    }
     r
 }
 

@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicU8, Ordering::SeqCst};
 use std::sync::Arc;
 use std::time::Duration;
 
-use kv_service::{Command, KvConfig, KvService, ShardStore};
+use kv_service::{Command, KvConfig, KvError, KvService, ShardStore};
 use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
 use smr_common::time::mono_ns;
@@ -113,6 +113,10 @@ pub struct KvResult {
     pub peak_shard_garbage: u64,
     /// Client-side completed (and latency-sampled) ops in the window.
     pub measured_ops: u64,
+    /// Ops that blew their per-op deadline (`KvError::DeadlineExceeded`)
+    /// instead of completing — a wedged shard turns into timeout rows in
+    /// the CSV, not a hung benchmark.
+    pub timeouts: u64,
 }
 
 /// Runs one scenario against a fresh service and tears it down.
@@ -124,6 +128,7 @@ pub fn run_kv<S: ShardStore>(rc: &KvRun) -> KvResult {
         // ~4 keys per bucket at 50% occupancy, floor of 64.
         buckets: ((rc.keys / 8).max(64) as usize).next_power_of_two(),
         policy: rc.policy,
+        ..KvConfig::new()
     });
 
     // Prefill to 50% occupancy (even keys) so reads split hit/miss the way
@@ -143,6 +148,7 @@ pub fn run_kv<S: ShardStore>(rc: &KvRun) -> KvResult {
     let phase = Arc::new(AtomicU8::new(WARMUP));
 
     let mut hist = LatencyHistogram::new();
+    let mut timeouts = 0u64;
     let mut shard_mops: Vec<f64> = Vec::new();
     std::thread::scope(|s| {
         let mut joins = Vec::new();
@@ -154,6 +160,7 @@ pub fn run_kv<S: ShardStore>(rc: &KvRun) -> KvResult {
                 let mix = OpMix::new(rc.read_pct, rc.insert_pct, rc.remove_pct);
                 let mut rng = SmallRng::seed_from_u64(0x5EED ^ tid as u64);
                 let mut hist = LatencyHistogram::new();
+                let mut timeouts = 0u64;
                 let mut t0 = vec![0u64; rc.pipeline];
                 let mut lat = vec![0u64; rc.pipeline];
                 loop {
@@ -170,12 +177,21 @@ pub fn run_kv<S: ShardStore>(rc: &KvRun) -> KvResult {
                             Op::Remove => Command::Del { key },
                         };
                         t0[n] = mono_ns();
-                        if client.submit(cmd).is_err() {
-                            break;
+                        match client.submit(cmd) {
+                            Ok(()) => n += 1,
+                            Err(KvError::DeadlineExceeded) => {
+                                timeouts += 1;
+                                break;
+                            }
+                            Err(_) => break,
                         }
-                        n += 1;
                     }
-                    client.drain(|i, _| lat[i] = mono_ns().saturating_sub(t0[i]));
+                    client.drain(|i, r| {
+                        if matches!(r, Err(KvError::DeadlineExceeded)) {
+                            timeouts += 1;
+                        }
+                        lat[i] = mono_ns().saturating_sub(t0[i]);
+                    });
                     if ph == MEASURE {
                         for &l in &lat[..n] {
                             hist.record(l);
@@ -185,7 +201,7 @@ pub fn run_kv<S: ShardStore>(rc: &KvRun) -> KvResult {
                         break; // shard down: nothing more to do
                     }
                 }
-                hist
+                (hist, timeouts)
             }));
         }
 
@@ -198,13 +214,17 @@ pub fn run_kv<S: ShardStore>(rc: &KvRun) -> KvResult {
         let end = svc.stats();
         let elapsed_s = (mono_ns() - t_start) as f64 / 1e9;
 
+        // saturating: a respawn between the phase edges resets that shard's
+        // counters, so the end sample can sit below the start sample.
         shard_mops = start
             .iter()
             .zip(&end)
-            .map(|(a, b)| (b.ops - a.ops) as f64 / elapsed_s / 1e6)
+            .map(|(a, b)| b.ops.saturating_sub(a.ops) as f64 / elapsed_s / 1e6)
             .collect();
         for j in joins {
-            hist.merge(&j.join().expect("kv client thread"));
+            let (h, t) = j.join().expect("kv client thread");
+            hist.merge(&h);
+            timeouts += t;
         }
     });
 
@@ -220,6 +240,72 @@ pub fn run_kv<S: ShardStore>(rc: &KvRun) -> KvResult {
         p999_ns: hist.percentile_ns(0.999),
         peak_shard_garbage,
         measured_ops: hist.count(),
+        timeouts,
+    }
+}
+
+/// Result of one [`run_kv_recovery`] campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct KvRecoveryResult {
+    /// Crash/respawn cycles driven (and observed) by the run.
+    pub respawns: u64,
+    /// Mean time from the crash injection to the first successful op on
+    /// the respawned incarnation (ns).
+    pub mean_respawn_ns: u64,
+    /// Client op throughput over the whole campaign, crash windows
+    /// included (Mops/s) — what a caller actually gets from a service that
+    /// keeps dying and recovering.
+    pub recovery_mops: f64,
+}
+
+/// Drives `cycles` crash → quarantine → respawn rounds against a
+/// supervised single-shard service, measuring recovery latency
+/// (inject → first success on the bumped generation) and the throughput
+/// of a synchronous churn loop threaded through the crashes.
+pub fn run_kv_recovery<S: ShardStore>(cycles: u32, churn_per_cycle: u64) -> KvRecoveryResult {
+    let svc = KvService::<S>::start(
+        KvConfig {
+            shards: 1,
+            batch: 16,
+            ring_depth: 256,
+            buckets: 256,
+            ..KvConfig::new()
+        }
+        .with_op_timeout(Duration::from_secs(5))
+        .with_retries(8),
+    );
+    let mut client = svc.client();
+    let mut ops = 0u64;
+    let mut respawn_ns_total = 0u64;
+    let t_campaign = mono_ns();
+    for cycle in 0..cycles as u64 {
+        // Churn so the domain holds real garbage when the crash lands.
+        for k in 0..churn_per_cycle {
+            let key = cycle * 100_000 + k;
+            let _ = client.insert(key, key);
+            let _ = client.remove(key);
+            ops += 2;
+        }
+        let gen_before = svc.generation(0).0;
+        let t0 = mono_ns();
+        assert!(svc.inject_crash(0), "crash command not accepted");
+        // The probe is queued behind the crash command, so its first
+        // success is necessarily served by the respawned incarnation.
+        while client.get(cycle).is_err() {
+            ops += 1;
+        }
+        ops += 1;
+        respawn_ns_total += mono_ns().saturating_sub(t0);
+        debug_assert!(svc.generation(0).0 > gen_before);
+    }
+    let elapsed_s = (mono_ns() - t_campaign) as f64 / 1e9;
+    let health = svc.health();
+    let respawns: u64 = health.shards.iter().map(|h| h.respawns).sum();
+    svc.shutdown();
+    KvRecoveryResult {
+        respawns,
+        mean_respawn_ns: respawn_ns_total / u64::from(cycles.max(1)),
+        recovery_mops: ops as f64 / elapsed_s / 1e6,
     }
 }
 
@@ -239,5 +325,14 @@ mod tests {
         assert!(r.measured_ops > 0, "no latencies sampled");
         assert!(r.p50_ns > 0 && r.p50_ns <= r.p99_ns && r.p99_ns <= r.p999_ns);
         assert!(r.min_shard_mops <= r.max_shard_mops);
+        assert_eq!(r.timeouts, 0, "healthy quick run must not time out");
+    }
+
+    #[test]
+    fn recovery_run_measures_respawn_latency() {
+        let r = run_kv_recovery::<HppStore>(2, 64);
+        assert_eq!(r.respawns, 2, "every injected crash must respawn: {r:?}");
+        assert!(r.mean_respawn_ns > 0, "respawn latency not measured: {r:?}");
+        assert!(r.recovery_mops > 0.0, "no throughput through the crashes: {r:?}");
     }
 }

@@ -234,6 +234,13 @@ impl Collector {
         self.orphan_count.store(orphans.len(), Ordering::Release);
     }
 
+    /// Number of orphaned retired blocks awaiting adoption (diagnostics;
+    /// the kv-service quarantine path records this as the settled garbage
+    /// leaked with a dead shard's collector).
+    pub fn orphan_count(&self) -> usize {
+        self.orphan_count.load(Ordering::Acquire)
+    }
+
     /// Takes the orphan list if any and uncontended.
     ///
     /// Fast path: a single load when there are no orphans — no lock. Lock

@@ -30,22 +30,38 @@
 //!   ([`store::NrStore`]).
 //!
 //! Crash story: a worker that panics closes and drains its ring on the way
-//! out (every queued command resolves to [`ShardDown`]), donates its
+//! out (every queued command resolves to a typed error), donates its
 //! reclamation state through the scheme's own panic-safe teardown, and
 //! sibling shards never notice. See `tests/shard_isolation.rs`.
+//!
+//! Recovery story (on by default, [`KvConfig::supervise`]): a
+//! [`supervisor`] thread notices the death, **quarantines** the poisoned
+//! reclamation domain — leaks it, records its settled garbage against the
+//! scheme's published bound — and respawns the worker on a fresh ring +
+//! fresh store under a bumped [`Generation`]. Nothing is replayed; clients
+//! see [`KvError::RetryAfter`] and drive their own bounded retries under a
+//! per-op deadline. See `tests/recovery.rs` and the root `tests/chaos.rs`
+//! campaign harness.
 
 mod ring;
 mod service;
 mod shard;
+mod supervisor;
 pub mod store;
 
 pub use ring::{Command, PushError};
-pub use service::{Client, KvService};
+pub use service::{Client, HealthSnapshot, KvService, ShardHealth};
 pub use shard::ShardStatsSnapshot;
 pub use store::{EbrSharedStore, EbrStore, HppStore, HyalineStore, NrStore, ShardStore};
+pub use supervisor::QuarantineRecord;
 
 /// Fault points owned by this crate (see `smr_common::fault`).
-pub const FAULT_POINTS: &[&str] = &["kv::ring::full", "kv::worker::batch"];
+pub const FAULT_POINTS: &[&str] = &[
+    "kv::ring::full",
+    "kv::worker::batch",
+    "kv::quarantine::leak",
+    "kv::supervisor::respawn",
+];
 
 /// A command could not be completed because its shard's worker is gone
 /// (panicked or shut down).
@@ -59,6 +75,48 @@ impl std::fmt::Display for ShardDown {
 }
 
 impl std::error::Error for ShardDown {}
+
+/// The incarnation number of one shard's worker + store. Starts at 0 and
+/// bumps once per supervised respawn. Recovery is lossy by contract — the
+/// respawned store is empty and nothing queued on the dead ring is
+/// replayed — so the generation is the client's signal that state it wrote
+/// before the bump may be gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct Generation(pub u64);
+
+impl std::fmt::Display for Generation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "gen{}", self.0)
+    }
+}
+
+/// Why a client operation failed. The three variants split the old
+/// catch-all [`ShardDown`] by what the caller should *do*:
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvError {
+    /// The shard's worker died but the service supervises it: a fresh
+    /// worker is (being) respawned on the carried generation. Retry the
+    /// command; state from before the bump may be lost.
+    RetryAfter(Generation),
+    /// The service is shutting down (or runs unsupervised and the shard is
+    /// permanently dead). Stop sending.
+    Stopped,
+    /// The per-op deadline ([`KvConfig::op_timeout`]) elapsed before the
+    /// command resolved — the shard may be wedged rather than dead.
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::RetryAfter(g) => write!(f, "shard restarting ({g}); retry"),
+            KvError::Stopped => f.write_str("service stopped"),
+            KvError::DeadlineExceeded => f.write_str("operation deadline exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
 
 /// Service configuration. Defaults come from the host shape; every field
 /// has an env override so deployments tune without recompiling.
@@ -78,6 +136,20 @@ pub struct KvConfig {
     /// Default [`PolicyKind::Capped`] (the legacy trigger, bit-identical),
     /// `KV_POLICY` (`eager`/`capped`/`timed`/`adaptive`).
     pub policy: smr_common::policy::PolicyKind,
+    /// Whether the supervisor respawns dead workers (quarantining their
+    /// domain) instead of leaving the shard permanently down. Default true,
+    /// `KV_SUPERVISE` (`0`/`false` disables).
+    pub supervise: bool,
+    /// Per-operation client deadline: the worst case one `get`/`insert`/
+    /// `remove` call may block across pushes, waits and retries before
+    /// resolving to [`KvError::DeadlineExceeded`]. Default 5 s,
+    /// `KV_OP_TIMEOUT_MS`.
+    pub op_timeout: std::time::Duration,
+    /// Bounded retry budget for one-shot client calls that hit
+    /// [`KvError::RetryAfter`] (shard respawning): how many times the call
+    /// re-pushes, with `smr_common::Backoff`-jittered spacing, before
+    /// surfacing the error. Default 3, `KV_OP_RETRIES` (0 allowed).
+    pub retries: u32,
 }
 
 impl KvConfig {
@@ -89,6 +161,9 @@ impl KvConfig {
             ring_depth: 1024,
             buckets: ds::hash_map::DEFAULT_BUCKETS,
             policy: smr_common::policy::PolicyKind::Capped,
+            supervise: true,
+            op_timeout: std::time::Duration::from_millis(5_000),
+            retries: 3,
         }
     }
 
@@ -103,12 +178,37 @@ impl KvConfig {
         cfg.buckets = env_usize("KV_BUCKETS").unwrap_or(cfg.buckets);
         cfg.policy =
             smr_common::policy::PolicyKind::from_env_var("KV_POLICY").unwrap_or(cfg.policy);
+        cfg.supervise = smr_common::env::parse_bool("KV_SUPERVISE").unwrap_or(cfg.supervise);
+        cfg.op_timeout = smr_common::env::parse_u64("KV_OP_TIMEOUT_MS")
+            .filter(|&ms| ms > 0)
+            .map(std::time::Duration::from_millis)
+            .unwrap_or(cfg.op_timeout);
+        cfg.retries = smr_common::env::parse_u32("KV_OP_RETRIES").unwrap_or(cfg.retries);
         cfg
     }
 
     /// Builder-style shard-count override.
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
+        self
+    }
+
+    /// Builder-style supervision toggle (off = PR-7 containment-only
+    /// semantics: a dead shard stays dead and fails fast).
+    pub fn with_supervision(mut self, supervise: bool) -> Self {
+        self.supervise = supervise;
+        self
+    }
+
+    /// Builder-style per-op deadline override.
+    pub fn with_op_timeout(mut self, timeout: std::time::Duration) -> Self {
+        self.op_timeout = timeout;
+        self
+    }
+
+    /// Builder-style retry-budget override.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
         self
     }
 

@@ -10,7 +10,12 @@
 //!
 //! Backpressure: a full ring makes producers wait in
 //! [`smr_common::Backoff`]'s spin → yield → park escalator — bounded
-//! memory, no busy-spin, no hidden unbounded queue.
+//! memory, no busy-spin, no hidden unbounded queue. Once a producer
+//! escalates to parking it parks on the `space` doorbell, which the
+//! consumer rings when it frees a slot and `close()` broadcasts — so no
+//! producer can stay parked on a retired ring. Pushes optionally carry a
+//! deadline so a wedged (alive but stalled) worker cannot block a client
+//! past its op budget.
 //!
 //! Sleep/wake: the worker parks on a condvar when the ring is empty. The
 //! `sleeping` flag plus re-check under the doorbell mutex closes the lost
@@ -43,13 +48,22 @@ pub enum Command {
     Put { key: u64, value: u64 },
     /// Remove `key`, replying with the removed value.
     Del { key: u64 },
+    /// Chaos vector: the worker panics while "executing" this command (its
+    /// reply resolves to the shard-down error through the reply guard).
+    /// Used by the supervision tests, the chaos campaigns and the recovery
+    /// benchmark to kill a *specific* shard deterministically — never part
+    /// of a production workload. `key` only routes it.
+    Crash { key: u64 },
 }
 
 impl Command {
     /// The key this command routes on.
     pub fn key(&self) -> u64 {
         match *self {
-            Command::Get { key } | Command::Put { key, .. } | Command::Del { key } => key,
+            Command::Get { key }
+            | Command::Put { key, .. }
+            | Command::Del { key }
+            | Command::Crash { key } => key,
         }
     }
 }
@@ -60,6 +74,9 @@ pub enum PushError {
     /// The ring is closed (shutdown or dead worker); the command was never
     /// queued.
     Closed,
+    /// The push deadline elapsed while the ring stayed full; the command
+    /// was never queued.
+    TimedOut,
 }
 
 const PENDING: u32 = 0;
@@ -120,6 +137,18 @@ impl ResponseSlot {
     }
 }
 
+/// Why a response wait ended without a result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WaitError {
+    /// The worker died before (or while) executing the command; the slot
+    /// is resolved and safe to pool again.
+    Down,
+    /// The deadline elapsed with the command still pending. The worker may
+    /// complete the slot *later*, so the caller must abandon it — never
+    /// return it to a reuse pool.
+    TimedOut,
+}
+
 pub(crate) type Entry = (Command, Arc<ResponseSlot>);
 
 struct Slot {
@@ -130,6 +159,18 @@ struct Slot {
 /// The worker's pillow: where it sleeps when the ring is empty.
 struct Doorbell {
     sleeping: AtomicBool,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+/// The producers' pillow: where pushes park once their backoff escalates
+/// and the ring stays full. The consumer rings it when it frees a slot
+/// (only when `waiters != 0`, so the hot pop path pays one relaxed load)
+/// and `close()` broadcasts so nobody stays parked on a dead shard. The
+/// bounded wait below is a backstop against the register/park race, not
+/// the wake protocol.
+struct SpaceBell {
+    waiters: AtomicUsize,
     lock: Mutex<()>,
     cv: Condvar,
 }
@@ -148,6 +189,7 @@ pub(crate) struct Ring {
     /// Serializes post-mortem drains between rescuing clients.
     rescue: Mutex<()>,
     doorbell: Doorbell,
+    space: SpaceBell,
 }
 
 // Entries are moved across threads through the slots; Command and
@@ -177,6 +219,11 @@ impl Ring {
                 lock: Mutex::new(()),
                 cv: Condvar::new(),
             },
+            space: SpaceBell {
+                waiters: AtomicUsize::new(0),
+                lock: Mutex::new(()),
+                cv: Condvar::new(),
+            },
         }
     }
 
@@ -193,9 +240,24 @@ impl Ring {
         self.worker_gone.load(Acquire)
     }
 
-    /// Enqueues a command. Blocks (via backoff, escalating to parking)
-    /// while the ring is full; fails only when the ring is closed.
+    /// Enqueues a command. Blocks (via backoff, escalating to parking on
+    /// the space doorbell) while the ring is full; fails only when the
+    /// ring is closed.
+    #[cfg(test)]
     pub(crate) fn push(&self, cmd: Command, resp: Arc<ResponseSlot>) -> Result<(), PushError> {
+        self.push_deadline(cmd, resp, None)
+    }
+
+    /// [`push`](Self::push) with an optional deadline: a ring that stays
+    /// full past it (wedged worker) fails the push with
+    /// [`PushError::TimedOut`] instead of blocking forever. The command was
+    /// never queued, so the response slot stays safe to reuse.
+    pub(crate) fn push_deadline(
+        &self,
+        cmd: Command,
+        resp: Arc<ResponseSlot>,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<(), PushError> {
         let mut backoff = Backoff::new();
         loop {
             if self.closed.load(Acquire) {
@@ -220,12 +282,58 @@ impl Ring {
             } else if lag < 0 {
                 // Full: a whole lap behind. Wait for the consumer.
                 smr_common::fault_point!("kv::ring::full");
-                backoff.snooze();
+                if let Some(d) = deadline {
+                    if std::time::Instant::now() >= d {
+                        return Err(PushError::TimedOut);
+                    }
+                }
+                if backoff.is_parking() {
+                    self.wait_for_space();
+                } else {
+                    backoff.snooze();
+                }
             } else {
                 // A producer ahead of us claimed the slot but has not
                 // published yet; its publish is imminent.
                 std::hint::spin_loop();
             }
+        }
+    }
+
+    /// Whether the producer-side next slot is still a lap behind (full).
+    fn is_full(&self) -> bool {
+        let pos = self.tail.load(Relaxed);
+        let seq = self.slots[pos & self.mask].seq.load(Acquire);
+        (seq.wrapping_sub(pos) as isize) < 0
+    }
+
+    /// Producer: park until the consumer frees a slot or the ring closes.
+    /// The re-check after registering closes the lost-wakeup race against
+    /// `pop`/`close`; the 1 ms timeout is a backstop only.
+    fn wait_for_space(&self) {
+        // This *is* the park phase of the producer's escalator; account for
+        // it like `Backoff::snooze` would so the contention counters (and
+        // the backpressure tests reading them) keep seeing parks.
+        smr_common::counters::incr_backoff_park();
+        self.space.waiters.fetch_add(1, SeqCst);
+        {
+            let guard = self.space.lock.lock().unwrap();
+            if self.is_full() && !self.closed.load(SeqCst) {
+                let _ = self
+                    .space
+                    .cv
+                    .wait_timeout(guard, Duration::from_millis(1));
+            }
+        }
+        self.space.waiters.fetch_sub(1, SeqCst);
+    }
+
+    /// Consumer side: wake parked producers after freeing a slot. Cheap
+    /// when nobody is parked (one relaxed load).
+    fn ring_space_bell(&self) {
+        if self.space.waiters.load(Relaxed) != 0 {
+            let _guard = self.space.lock.lock().unwrap();
+            self.space.cv.notify_all();
         }
     }
 
@@ -242,6 +350,7 @@ impl Ring {
         slot.seq
             .store(pos.wrapping_add(self.mask).wrapping_add(1), Release);
         self.head.store(pos.wrapping_add(1), Release);
+        self.ring_space_bell();
         Some(entry)
     }
 
@@ -275,13 +384,18 @@ impl Ring {
         }
     }
 
-    /// Stops accepting new commands and wakes the worker to drain what is
-    /// already queued.
+    /// Stops accepting new commands, wakes the worker to drain what is
+    /// already queued, and broadcasts to producers parked on a full ring so
+    /// none of them stays parked on a dead shard.
     pub(crate) fn close(&self) {
         self.closed.store(true, SeqCst);
-        let _guard = self.doorbell.lock.lock().unwrap();
-        self.doorbell.sleeping.store(false, SeqCst);
-        self.doorbell.cv.notify_all();
+        {
+            let _guard = self.doorbell.lock.lock().unwrap();
+            self.doorbell.sleeping.store(false, SeqCst);
+            self.doorbell.cv.notify_all();
+        }
+        let _guard = self.space.lock.lock().unwrap();
+        self.space.cv.notify_all();
     }
 
     /// Worker's last act (normal exit *and* unwind): close, hand the
@@ -303,11 +417,23 @@ impl Ring {
 
     /// Client-side wait for a response on `slot`, rescuing the ring if the
     /// worker died underneath us.
+    #[cfg(test)]
     pub(crate) fn wait_response(&self, slot: &ResponseSlot) -> Result<Option<u64>, ShardDown> {
+        self.wait_response_deadline(slot, None).map_err(|_| ShardDown)
+    }
+
+    /// [`wait_response`](Self::wait_response) with an optional deadline. A
+    /// [`WaitError::TimedOut`] slot may still be completed by the worker
+    /// later — the caller must abandon it, not pool it.
+    pub(crate) fn wait_response_deadline(
+        &self,
+        slot: &ResponseSlot,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<Option<u64>, WaitError> {
         let mut backoff = Backoff::new();
         loop {
             if let Some(result) = slot.poll() {
-                return result;
+                return result.map_err(|ShardDown| WaitError::Down);
             }
             if self.is_worker_gone() {
                 // Our entry is published (push returned Ok), so a rescue
@@ -316,7 +442,12 @@ impl Ring {
                 // marked it dropped.
                 self.rescue_drain();
                 if let Some(result) = slot.poll() {
-                    return result;
+                    return result.map_err(|ShardDown| WaitError::Down);
+                }
+            }
+            if let Some(d) = deadline {
+                if std::time::Instant::now() >= d {
+                    return Err(WaitError::TimedOut);
                 }
             }
             backoff.snooze();
@@ -391,6 +522,55 @@ mod tests {
             assert_eq!(s.poll(), Some(Err(ShardDown)));
         }
         assert_eq!(ring.wait_response(&slots[0]), Err(ShardDown));
+    }
+
+    #[test]
+    fn push_deadline_times_out_on_full_ring() {
+        let ring = Ring::with_capacity(2);
+        for k in 0..2 {
+            let (c, r) = entry(k);
+            ring.push(c, r).unwrap();
+        }
+        let (c, r) = entry(9);
+        let deadline = std::time::Instant::now() + Duration::from_millis(20);
+        assert_eq!(
+            ring.push_deadline(c, r, Some(deadline)),
+            Err(PushError::TimedOut)
+        );
+        assert!(std::time::Instant::now() >= deadline);
+    }
+
+    #[test]
+    fn close_wakes_producer_parked_on_full_ring() {
+        let ring = Arc::new(Ring::with_capacity(2));
+        for k in 0..2 {
+            let (c, r) = entry(k);
+            ring.push(c, r).unwrap();
+        }
+        let producer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                let (c, r) = entry(9);
+                ring.push(c, r)
+            })
+        };
+        // Let the producer reach the full branch and escalate to parking.
+        std::thread::sleep(Duration::from_millis(20));
+        ring.close();
+        assert_eq!(producer.join().unwrap(), Err(PushError::Closed));
+    }
+
+    #[test]
+    fn wait_response_deadline_times_out_while_pending() {
+        let ring = Ring::with_capacity(4);
+        let (c, r) = entry(1);
+        ring.push(c, Arc::clone(&r)).unwrap();
+        // No consumer: the wait must end at the deadline, not hang.
+        let deadline = std::time::Instant::now() + Duration::from_millis(20);
+        assert_eq!(
+            ring.wait_response_deadline(&r, Some(deadline)),
+            Err(WaitError::TimedOut)
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! `KvService::shutdown` drains back via `ShardStore::drain_orphans`.
 
 use std::sync::atomic::Ordering::Relaxed;
-use std::sync::atomic::AtomicU64;
+use std::sync::atomic::{AtomicU64, AtomicU8};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -23,6 +23,7 @@ use smr_common::watchdog::GarbageWatchdog;
 
 use crate::ring::{Command, Entry, Ring};
 use crate::store::ShardStore;
+use crate::supervisor::SupervisorCtl;
 
 /// How long the per-shard watchdog lets the garbage level sit still before
 /// calling the shard's collector stalled.
@@ -84,6 +85,9 @@ pub(crate) struct Shard<S> {
     pub(crate) ring: Ring,
     pub(crate) store: S,
     pub(crate) stats: ShardStats,
+    /// Latest watchdog verdict ([`Verdict::encode`]), written by the
+    /// worker's sampling, read by [`KvService::health`](crate::KvService).
+    verdict: AtomicU8,
 }
 
 impl<S: ShardStore> Shard<S> {
@@ -92,7 +96,13 @@ impl<S: ShardStore> Shard<S> {
             ring: Ring::with_capacity(ring_depth),
             store,
             stats: ShardStats::default(),
+            verdict: AtomicU8::new(Verdict::Unknown.encode()),
         }
+    }
+
+    /// The worker's latest watchdog verdict for this shard incarnation.
+    pub(crate) fn verdict(&self) -> Verdict {
+        Verdict::decode(self.verdict.load(Relaxed))
     }
 }
 
@@ -117,23 +127,34 @@ fn execute<S: ShardStore>(store: &S, handle: &mut S::Handle, (cmd, resp): Entry)
             }
         }
         Command::Del { key } => store.remove(handle, key),
+        Command::Crash { .. } => panic!("kv worker: injected crash command"),
     };
     reply.0.complete(result);
 }
 
 /// The shard worker: park-drain-execute until the ring closes, then flush
-/// reclamation and exit. `batch_max` commands per wakeup, tops.
-pub(crate) fn run_worker<S: ShardStore>(shard: Arc<Shard<S>>, batch_max: usize) {
-    /// Retires the ring on any exit, unwind included.
-    struct WorkerGuard<'a>(&'a Ring);
+/// reclamation and exit. `batch_max` commands per wakeup, tops. `ctl`, when
+/// present, is nudged as the worker exits so the supervisor reacts to a
+/// death immediately instead of at its next poll tick.
+pub(crate) fn run_worker<S: ShardStore>(
+    shard: Arc<Shard<S>>,
+    batch_max: usize,
+    ctl: Option<Arc<SupervisorCtl>>,
+) {
+    /// Retires the ring on any exit, unwind included, then wakes the
+    /// supervisor (after retirement, so the death is already observable).
+    struct WorkerGuard<'a>(&'a Ring, Option<&'a SupervisorCtl>);
     impl Drop for WorkerGuard<'_> {
         fn drop(&mut self) {
             self.0.retire();
+            if let Some(ctl) = self.1 {
+                ctl.nudge();
+            }
         }
     }
 
     let mut handle = shard.store.handle();
-    let _guard = WorkerGuard(&shard.ring);
+    let _guard = WorkerGuard(&shard.ring, ctl.as_deref());
     // Per-shard watchdog, fed every `WATCHDOG_SAMPLE_BATCHES` batches. The
     // progress token advances whenever the shard's garbage level drops (or
     // is zero) — with one worker per shard, local garbage shrinks iff this
@@ -174,7 +195,9 @@ pub(crate) fn run_worker<S: ShardStore>(shard: Arc<Shard<S>>, batch_max: usize) 
             }
             prev_garbage = garbage;
             let status = watchdog.observe(progress_token, garbage as usize);
-            shard.store.report_verdict(Verdict::from(&status));
+            let verdict = Verdict::from(&status);
+            shard.verdict.store(verdict.encode(), Relaxed);
+            shard.store.report_verdict(verdict);
         }
         shard.stats.record_batch(drained, garbage);
     }

@@ -63,6 +63,16 @@ pub trait ShardStore: Send + Sync + Sized + 'static {
     /// Adopts and frees garbage donated by a dead worker.
     fn drain_orphans(&self);
 
+    /// Blocks settled in this store's private domain after its (sole)
+    /// worker died and its teardown donated everything — i.e. what leaks
+    /// if the domain is quarantined *instead of* drained. Only meaningful
+    /// once the dead worker has been joined; stores without a private
+    /// domain (NR, the shared-EBR control) report 0, since quarantining
+    /// them leaks nothing extra.
+    fn settled_garbage(&self) -> u64 {
+        0
+    }
+
     /// Feeds a per-shard watchdog verdict to the shard's trigger policy
     /// (`Adaptive` reacts; everything else — including stores without a
     /// private domain — ignores it).
@@ -146,6 +156,14 @@ impl ShardStore for HppStore {
         self.domain.report_verdict(verdict);
     }
 
+    fn settled_garbage(&self) -> u64 {
+        // The dead worker's teardown pushed every unreclaimed block onto
+        // the domain's orphan lists; with one worker per shard nothing
+        // else holds local garbage, so the orphan count *is* the settled
+        // total.
+        self.domain.hp_domain().orphan_count() as u64
+    }
+
     const SCHEME: &'static str = "hpp";
 }
 
@@ -225,6 +243,10 @@ impl ShardStore for EbrStore {
         self.collector.report_verdict(verdict);
     }
 
+    fn settled_garbage(&self) -> u64 {
+        self.collector.orphan_count() as u64
+    }
+
     const SCHEME: &'static str = "ebr";
 }
 
@@ -297,6 +319,10 @@ impl ShardStore for HyalineStore {
 
     fn report_verdict(&self, verdict: Verdict) {
         self.domain.report_verdict(verdict);
+    }
+
+    fn settled_garbage(&self) -> u64 {
+        self.domain.orphan_count() as u64
     }
 
     const SCHEME: &'static str = "hyaline";

@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
 
-use kv_service::{Client, Command, HppStore, KvConfig, KvService, ShardStore};
+use kv_service::{Client, Command, HppStore, KvConfig, KvError, KvService, ShardStore};
 
 fn serial() -> MutexGuard<'static, ()> {
     static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
@@ -38,11 +38,15 @@ fn cfg(shards: usize, batch: usize, ring_depth: usize) -> KvConfig {
 
 /// A store whose `get` blocks while [`GATE`] is closed — lets a test wedge
 /// the single worker and fill the ring behind it without fault injection.
+/// If [`PANIC`] is set when the gate opens, the worker dies instead of
+/// completing, which is how the retired-ring wakeup test kills a worker
+/// with producers parked behind a full ring.
 struct GatedStore {
     inner: Mutex<HashMap<u64, u64>>,
 }
 
 static GATE: AtomicBool = AtomicBool::new(false);
+static PANIC: AtomicBool = AtomicBool::new(false);
 
 impl ShardStore for GatedStore {
     type Handle = ();
@@ -58,6 +62,9 @@ impl ShardStore for GatedStore {
     fn get(&self, _h: &mut Self::Handle, key: u64) -> Option<u64> {
         while GATE.load(SeqCst) {
             std::thread::yield_now();
+        }
+        if PANIC.load(SeqCst) {
+            panic!("gated store: injected worker death");
         }
         self.inner.lock().unwrap().get(&key).copied()
     }
@@ -97,8 +104,10 @@ fn full_ring_backpressure_parks_producer_instead_of_busy_spinning() {
     let _serial = serial();
     // One shard, an 8-slot ring, and a gated worker: the worker picks up
     // the first command and blocks inside the store, so everything else
-    // queues behind it.
-    let svc = KvService::<GatedStore>::start(cfg(1, 4, 8));
+    // queues behind it. The op timeout is raised well past the gated
+    // window so backpressure (not a deadline) is what the test observes.
+    let svc =
+        KvService::<GatedStore>::start(cfg(1, 4, 8).with_op_timeout(Duration::from_secs(60)));
     GATE.store(true, SeqCst);
     let mut client = svc.client();
     client.submit(Command::Get { key: 0 }).unwrap();
@@ -139,6 +148,61 @@ fn full_ring_backpressure_parks_producer_instead_of_busy_spinning() {
     assert_eq!(replies, 10);
     let stats = svc.shutdown();
     assert_eq!(stats[0].ops, 10);
+}
+
+#[test]
+fn retired_ring_wakes_parked_producers() {
+    let _serial = serial();
+    // Satellite regression: producers parked on a full ring must be woken
+    // by the close broadcast when the worker dies — not sit out their op
+    // deadline parked on a dead shard. Supervision is off so the death is
+    // terminal and the outcome is a prompt `Stopped`.
+    let svc = KvService::<GatedStore>::start(
+        cfg(1, 4, 4)
+            .with_supervision(false)
+            .with_op_timeout(Duration::from_secs(60)),
+    );
+    GATE.store(true, SeqCst);
+    PANIC.store(false, SeqCst);
+    let mut client = svc.client();
+    client.submit(Command::Get { key: 0 }).unwrap();
+    wait_for("worker to pick up the gated command", || {
+        svc.shard_stats(0).ops == 0 && client.in_flight() == 1
+    });
+    // Fill the 4-slot ring behind the blocked worker.
+    for k in 1..=4u64 {
+        client.submit(Command::Get { key: k }).unwrap();
+    }
+    let (_, _, parks_before) = smr_common::counters::total_backoff();
+    let producer = std::thread::spawn({
+        let mut c: Client<GatedStore> = svc.client();
+        move || {
+            let started = Instant::now();
+            let result = c.submit(Command::Get { key: 99 });
+            (result, started.elapsed())
+        }
+    });
+    wait_for("blocked producer to park", || {
+        smr_common::counters::total_backoff().2 > parks_before
+    });
+    // Kill the worker under the parked producer.
+    PANIC.store(true, SeqCst);
+    GATE.store(false, SeqCst);
+    let (result, waited) = producer.join().unwrap();
+    assert_eq!(result, Err(KvError::Stopped));
+    assert!(
+        waited < Duration::from_secs(30),
+        "parked producer sat out {waited:?} on a retired ring"
+    );
+    // Everything queued behind the dead worker failed fast, too.
+    let mut failures = 0;
+    client.drain(|_, r| {
+        assert_eq!(r, Err(KvError::Stopped));
+        failures += 1;
+    });
+    assert_eq!(failures, 5);
+    PANIC.store(false, SeqCst);
+    svc.shutdown();
 }
 
 #[test]

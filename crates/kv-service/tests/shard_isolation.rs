@@ -20,7 +20,7 @@
 use std::time::{Duration, Instant};
 
 use kv_service::{
-    Command, EbrSharedStore, EbrStore, HppStore, KvConfig, KvService, ShardDown, ShardStore,
+    Command, EbrSharedStore, EbrStore, HppStore, KvConfig, KvError, KvService, ShardStore,
 };
 use smr_common::counters;
 use smr_common::fault::{self, FaultAction};
@@ -248,24 +248,27 @@ fn worker_panic_drops_queued_commands_and_balances_orphans() {
     let _plan = fault::plan()
         .at("kv::worker::batch", 5, FaultAction::Panic)
         .install();
-    let svc = KvService::<HppStore>::start(cfg(1, 4, 64));
+    // Supervision off: this test pins down the PR-7 dead-stays-dead
+    // containment semantics that `with_supervision(false)` now preserves.
+    let svc = KvService::<HppStore>::start(cfg(1, 4, 64).with_supervision(false));
 
     // Pipeline churn until the ring rejects us: the worker panics on its
     // 5th batch, its guard retires the ring, and every queued command
-    // resolves to ShardDown instead of hanging a client.
+    // resolves to `Stopped` instead of hanging a client.
     let mut client = svc.client();
     let mut submitted = 0u32;
     for k in 0..4_000u64 {
         match client.submit(Command::Put { key: k, value: k }) {
             Ok(()) => submitted += 1,
-            Err(ShardDown) => break,
+            Err(_) => break,
         }
     }
     assert!(submitted > 0, "nothing was ever queued");
     let (mut ok, mut dropped) = (0u32, 0u32);
     client.drain(|_, r| match r {
         Ok(_) => ok += 1,
-        Err(ShardDown) => dropped += 1,
+        Err(KvError::Stopped) => dropped += 1,
+        Err(other) => panic!("unsupervised death must read as Stopped, got {other:?}"),
     });
     assert_eq!(ok + dropped, submitted);
     assert!(dropped > 0, "commands queued behind the panic must fail fast");
@@ -273,8 +276,8 @@ fn worker_panic_drops_queued_commands_and_balances_orphans() {
 
     // The shard is dead but the process is fine: fresh commands fail fast.
     let mut late = svc.client();
-    assert_eq!(late.get(1), Err(ShardDown));
-    assert_eq!(late.insert(1, 1), Err(ShardDown));
+    assert_eq!(late.get(1), Err(KvError::Stopped));
+    assert_eq!(late.insert(1, 1), Err(KvError::Stopped));
 
     // The panicking worker's HP++ teardown invalidates + retires its
     // unlinked batches and donates them; shutdown's drain_orphans adopts

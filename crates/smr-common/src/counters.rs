@@ -35,6 +35,9 @@ struct Stripe {
     adaptive_tighten: AtomicU64,
     adaptive_relax: AtomicU64,
     env_malformed: AtomicU64,
+    shard_respawn: AtomicU64,
+    quarantine_domains: AtomicU64,
+    quarantine_blocks: AtomicU64,
 }
 
 #[allow(clippy::declare_interior_mutable_const)]
@@ -50,6 +53,9 @@ const STRIPE_INIT: Stripe = Stripe {
     adaptive_tighten: AtomicU64::new(0),
     adaptive_relax: AtomicU64::new(0),
     env_malformed: AtomicU64::new(0),
+    shard_respawn: AtomicU64::new(0),
+    quarantine_domains: AtomicU64::new(0),
+    quarantine_blocks: AtomicU64::new(0),
 };
 
 static STRIPES_ARR: [Stripe; STRIPES] = [STRIPE_INIT; STRIPES];
@@ -218,6 +224,45 @@ pub fn adaptive_relaxes() -> u64 {
         .sum()
 }
 
+/// Records one supervised shard-worker respawn (kv-service supervisor).
+#[inline]
+pub fn incr_shard_respawn() {
+    stripe().shard_respawn.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one reclamation domain quarantined after a worker death, with
+/// the `blocks` of settled garbage leaked along with it.
+#[inline]
+pub fn incr_quarantine(blocks: u64) {
+    let s = stripe();
+    s.quarantine_domains.fetch_add(1, Ordering::Relaxed);
+    s.quarantine_blocks.fetch_add(blocks, Ordering::Relaxed);
+}
+
+/// Total supervised shard-worker respawns.
+pub fn shard_respawns() -> u64 {
+    STRIPES_ARR
+        .iter()
+        .map(|s| s.shard_respawn.load(Ordering::Relaxed))
+        .sum()
+}
+
+/// Total quarantined reclamation domains, process-wide.
+pub fn quarantined_domains() -> u64 {
+    STRIPES_ARR
+        .iter()
+        .map(|s| s.quarantine_domains.load(Ordering::Relaxed))
+        .sum()
+}
+
+/// Total settled-garbage blocks leaked inside quarantined domains.
+pub fn quarantined_blocks() -> u64 {
+    STRIPES_ARR
+        .iter()
+        .map(|s| s.quarantine_blocks.load(Ordering::Relaxed))
+        .sum()
+}
+
 /// Total malformed env-var values seen (and ignored) by [`crate::env`].
 pub fn env_malformed() -> u64 {
     STRIPES_ARR
@@ -295,6 +340,21 @@ mod tests {
         assert_eq!(adaptive_tightens() - tight0, 1);
         assert_eq!(adaptive_relaxes() - relax0, 3);
         assert_eq!(env_malformed() - env0, 1);
+    }
+
+    #[test]
+    fn supervision_counter_deltas_are_exact() {
+        let _serial = test_lock();
+        let respawn0 = shard_respawns();
+        let domains0 = quarantined_domains();
+        let blocks0 = quarantined_blocks();
+        incr_shard_respawn();
+        incr_shard_respawn();
+        incr_quarantine(0);
+        incr_quarantine(17);
+        assert_eq!(shard_respawns() - respawn0, 2);
+        assert_eq!(quarantined_domains() - domains0, 2);
+        assert_eq!(quarantined_blocks() - blocks0, 17);
     }
 
     #[test]

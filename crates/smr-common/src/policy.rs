@@ -63,7 +63,9 @@ pub enum Verdict {
 }
 
 impl Verdict {
-    fn encode(self) -> u8 {
+    /// Encodes the verdict for storage in an atomic (used by [`PolicySlot`]
+    /// and by the kv-service per-shard health word).
+    pub fn encode(self) -> u8 {
         match self {
             Verdict::Unknown => 0,
             Verdict::Healthy => 1,
@@ -72,7 +74,9 @@ impl Verdict {
         }
     }
 
-    fn decode(raw: u8) -> Self {
+    /// Inverse of [`encode`](Self::encode); unknown raw values decode to
+    /// [`Verdict::Unknown`].
+    pub fn decode(raw: u8) -> Self {
         match raw {
             1 => Verdict::Healthy,
             2 => Verdict::DegradedBounded,

@@ -992,6 +992,62 @@ fn all_fault_points_are_reachable() {
             b.snooze();
         }
     }
+    // kv-service: a sleepy store behind a 2-slot ring crosses the ring-full
+    // window, any drained op crosses the batch point, and an injected crash
+    // walks the supervisor through quarantine + respawn.
+    {
+        use kv_service::{Command, KvConfig, KvService, ShardStore};
+
+        struct SleepyStore;
+        impl ShardStore for SleepyStore {
+            type Handle = ();
+            fn new_shard(_buckets: usize, _policy: smr_common::policy::PolicyKind) -> Self {
+                SleepyStore
+            }
+            fn handle(&self) -> Self::Handle {}
+            fn get(&self, _h: &mut Self::Handle, _key: u64) -> Option<u64> {
+                std::thread::sleep(Duration::from_millis(2));
+                None
+            }
+            fn insert(&self, _h: &mut Self::Handle, _key: u64, _value: u64) -> bool {
+                true
+            }
+            fn remove(&self, _h: &mut Self::Handle, _key: u64) -> Option<u64> {
+                None
+            }
+            fn garbage(_h: &Self::Handle) -> u64 {
+                0
+            }
+            fn garbage_bound(&self) -> Option<u64> {
+                None
+            }
+            fn quiesce(&self, _h: &mut Self::Handle) {}
+            fn drain_orphans(&self) {}
+            const SCHEME: &'static str = "sleepy";
+        }
+
+        let cfg = KvConfig {
+            shards: 1,
+            batch: 1,
+            ring_depth: 2,
+            buckets: 8,
+            ..KvConfig::new()
+        }
+        .with_op_timeout(Duration::from_secs(30));
+        let svc = KvService::<SleepyStore>::start(cfg);
+        let mut client = svc.client();
+        let mut key = 0u64;
+        wait_for("a producer to find the ring full", || {
+            client.submit(Command::Get { key }).unwrap();
+            key += 1;
+            fault::hits("kv::ring::full") > 0
+        });
+        client.drain(|_, r| assert!(r.is_ok()));
+        assert!(svc.inject_crash(0), "crash command not accepted");
+        wait_for("the supervisor to respawn the shard", || svc.generation(0).0 == 1);
+        assert_eq!(client.get(0), Ok(None), "respawned shard must serve");
+        svc.shutdown();
+    }
 
     let all_points = hp::FAULT_POINTS
         .iter()
@@ -1000,7 +1056,8 @@ fn all_fault_points_are_reachable() {
         .chain(pebr::FAULT_POINTS)
         .chain(hyaline::FAULT_POINTS)
         .chain(ds::FAULT_POINTS)
-        .chain(smr_common::FAULT_POINTS);
+        .chain(smr_common::FAULT_POINTS)
+        .chain(kv_service::FAULT_POINTS);
     let mut missed = Vec::new();
     for point in all_points {
         if fault::hits(point) == 0 {
